@@ -1,0 +1,214 @@
+// A2 — ablation: how much congestion control does a capacity-planned
+// path actually need?
+//
+// §5.3 hypothesizes that MMTP "does not require sophisticated congestion
+// control, since data transfers across scientific networks are usually
+// capacity-planned and scheduled". We probe the hypothesis's boundary:
+// admit flows onto a 100 Gbps WAN link through the capacity planner and
+// run (a) MMTP with pacing at the admitted rate and (b) tuned TCP, first
+// with honest admission (sum of paces ≤ link) and then with the planner
+// deliberately overbooked (sum of paces = 1.5x link).
+//
+// Expected shape: under honest planning, MMTP's pacing-only transport
+// delivers full goodput with zero loss and no CC machinery; once the plan
+// is violated, pacing alone overflows the queue (losses mount) while TCP
+// backs off and keeps losses bounded — i.e. the hypothesis holds exactly
+// as far as the planning assumption does.
+#include "control/planner.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/sender.hpp"
+#include "netsim/network.hpp"
+#include "pnet/stages.hpp"
+#include "tcp/stack.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+
+namespace {
+
+constexpr unsigned n_flows = 4;
+constexpr std::uint64_t bytes_per_flow = 400 * 1000 * 1000;
+
+struct result {
+    double goodput_gbps{0};
+    std::uint64_t queue_drops{0};
+    std::uint64_t queue_peak_mb{0};
+    std::uint64_t recovered_or_rtx{0};
+    bool complete{false};
+};
+
+/// builds srcs[n] -> switch -> sink over a 100 G bottleneck.
+struct incast_net {
+    netsim::network net{71};
+    std::vector<netsim::host*> srcs;
+    pnet::programmable_switch* sw;
+    netsim::host* sink;
+    unsigned bottleneck_port{0};
+
+    incast_net()
+    {
+        sw = &net.emplace<pnet::programmable_switch>("agg");
+        sw->set_id_source(&net.ids());
+        sink = &net.add_host("sink");
+        netsim::link_config in;
+        in.rate = data_rate::from_gbps(100);
+        in.propagation = 100_us;
+        for (unsigned i = 0; i < n_flows; ++i) {
+            auto& h = net.add_host("src" + std::to_string(i));
+            net.connect(h, *sw, in);
+            srcs.push_back(&h);
+        }
+        netsim::link_config out;
+        out.rate = data_rate::from_gbps(100);
+        out.propagation = 10_ms;
+        out.queue_capacity_bytes = 256ull * 1024 * 1024; // BDP-scale WAN buffer
+        bottleneck_port = net.connect_simplex(*sw, *sink, out);
+        net.connect_simplex(*sink, *sw, in);
+        net.compute_routes();
+    }
+};
+
+result run_mmtp(double overbook_factor)
+{
+    incast_net n;
+
+    // capacity planning: each flow asks for its share x overbook factor
+    control::capacity_planner planner;
+    planner.register_link("bottleneck", data_rate::from_gbps(100), 0.05);
+    const auto per_flow =
+        data_rate{static_cast<std::uint64_t>(100e9 / n_flows * overbook_factor)};
+
+    std::vector<std::unique_ptr<core::stack>> stacks;
+    std::vector<std::unique_ptr<core::sender>> senders;
+    for (auto* h : n.srcs) {
+        auto st = std::make_unique<core::stack>(*h, n.net.ids());
+        core::sender_config cfg;
+        auto admitted = planner.admit({"bottleneck"}, per_flow);
+        if (!admitted) planner.admit_unchecked({"bottleneck"}, per_flow); // overbooked
+        cfg.pace = per_flow;
+        senders.push_back(std::make_unique<core::sender>(*st, n.sink->address(), cfg));
+        stacks.push_back(std::move(st));
+    }
+
+    core::stack sink_stack(*n.sink, n.net.ids());
+    core::receiver rx(sink_stack);
+    std::uint64_t bytes = 0;
+    const std::uint64_t expected =
+        n_flows * (bytes_per_flow / 8192) * 8192ull; // whole messages only
+    sim_time done = sim_time::never();
+    rx.set_on_datagram([&](const core::delivered_datagram& d) {
+        bytes += d.total_payload_bytes;
+        if (bytes >= expected && done.is_never()) done = n.net.sim().now();
+    });
+
+    for (unsigned i = 0; i < n_flows; ++i) {
+        daq::steady_source gen(wire::make_experiment_id(wire::experiments::dune, i),
+                               8192, per_flow.transmission_time(8192),
+                               sim_time{static_cast<std::int64_t>(i) * 500},
+                               bytes_per_flow / 8192);
+        senders[i]->drive(gen);
+    }
+    n.net.sim().run();
+
+    result r;
+    const double secs = done.is_never() ? n.net.sim().now().seconds()
+                                        : sim_duration{done.ns}.seconds();
+    r.goodput_gbps = bytes * 8.0 / secs / 1e9;
+    r.queue_drops = n.sw->egress(n.bottleneck_port).queue_statistics().dropped;
+    r.queue_peak_mb =
+        n.sw->egress(n.bottleneck_port).queue_statistics().peak_bytes / 1000000;
+    r.recovered_or_rtx = rx.stats().recovered;
+    r.complete = !done.is_never();
+    return r;
+}
+
+result run_tcp(double overbook_factor)
+{
+    incast_net n;
+    // TCP doesn't pace to the plan: the "overbook" factor only scales the
+    // offered concurrency, which for n fixed flows is a no-op — TCP's CC
+    // discovers the rate. Run the same flows and let CUBIC sort it out.
+    (void)overbook_factor;
+    const auto cfg = tcp::tuned_dtn_config(data_rate::from_gbps(100), 20_ms,
+                                           data_rate::from_gbps(55));
+    std::vector<std::unique_ptr<tcp::stack>> stacks;
+    tcp::stack sink_stack(*n.sink, n.net.ids());
+    std::uint64_t flows_done = 0;
+    sim_time done = sim_time::never();
+    sink_stack.listen(5001, cfg, [&](tcp::connection& c) {
+        c.set_on_delivered([&](std::uint64_t got) {
+            if (got == bytes_per_flow) {
+                flows_done++;
+                if (flows_done == n_flows && done.is_never()) done = n.net.sim().now();
+            }
+        });
+    });
+    struct flow {
+        tcp::connection* conn;
+        std::uint64_t queued{0};
+    };
+    std::vector<flow> flows(n_flows);
+    for (unsigned i = 0; i < n_flows; ++i) {
+        auto st = std::make_unique<tcp::stack>(*n.srcs[i], n.net.ids());
+        flows[i].conn = &st->connect(n.sink->address(), 5001, cfg);
+        auto* f = &flows[i];
+        auto pump = [f] {
+            if (f->queued < bytes_per_flow)
+                f->queued += f->conn->send(bytes_per_flow - f->queued);
+        };
+        flows[i].conn->set_on_connected(pump);
+        flows[i].conn->set_on_writable(pump);
+        stacks.push_back(std::move(st));
+    }
+    n.net.sim().run();
+
+    result r;
+    const double secs = done.is_never() ? n.net.sim().now().seconds()
+                                        : sim_duration{done.ns}.seconds();
+    r.goodput_gbps = n_flows * bytes_per_flow * 8.0 / secs / 1e9;
+    r.queue_drops = n.sw->egress(n.bottleneck_port).queue_statistics().dropped;
+    r.queue_peak_mb =
+        n.sw->egress(n.bottleneck_port).queue_statistics().peak_bytes / 1000000;
+    for (const auto& f : flows) r.recovered_or_rtx += f.conn->stats().retransmitted_segments;
+    r.complete = !done.is_never();
+    return r;
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("A2: congestion-control ablation — %u flows, 100 Gbps bottleneck, "
+                "10 ms, planner honest vs overbooked (§5.3 hypothesis)\n",
+                n_flows);
+    telemetry::table t("pacing-only MMTP vs tuned TCP under (over)planning");
+    t.set_columns({"plan", "transport", "aggregate goodput", "queue drops",
+                   "peak queue", "recovered/rtx", "window complete"});
+    auto row = [&](const char* plan, const char* name, const result& r) {
+        t.add_row({plan, name, telemetry::fmt_rate(r.goodput_gbps * 1000.0),
+                   telemetry::fmt_count(r.queue_drops),
+                   telemetry::fmt_count(r.queue_peak_mb) + " MB",
+                   telemetry::fmt_count(r.recovered_or_rtx), r.complete ? "yes" : "NO"});
+    };
+    const auto mm_ok = run_mmtp(0.9);
+    const auto tcp_ok = run_tcp(0.9);
+    const auto mm_over = run_mmtp(1.5);
+    const auto tcp_over = run_tcp(1.5);
+    row("honest (0.9x)", "MMTP pacing-only", mm_ok);
+    row("honest (0.9x)", "tuned TCP", tcp_ok);
+    row("overbooked (1.5x)", "MMTP pacing-only", mm_over);
+    row("overbooked (1.5x)", "tuned TCP", tcp_over);
+    t.print();
+    t.write_csv("bench_a2.csv");
+
+    std::printf("\nshape check: honest plan -> MMTP loses nothing (%llu drops) with no "
+                "CC at all; overbooked -> pacing alone drops %llu packets where TCP "
+                "adapts. The §5.3 hypothesis holds exactly as far as capacity "
+                "planning does.\n",
+                static_cast<unsigned long long>(mm_ok.queue_drops),
+                static_cast<unsigned long long>(mm_over.queue_drops));
+    return 0;
+}

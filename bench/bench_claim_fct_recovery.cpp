@@ -1,0 +1,122 @@
+// C2 — §4.1/§5.1: hop-by-hop recovery from a near buffer cuts
+// retransmission latency and flow-completion time versus end-to-end
+// recovery, and the advantage grows with the WAN RTT.
+//
+// Sweep the WAN one-way delay 5..50 ms at fixed loss; at each point run
+//   (a) TCP (tuned): loss repaired from the source across the full RTT
+//   (b) MMTP: loss repaired by NAK to the DTN buffer at the WAN edge
+// and report window FCT plus the measured recovery latency. The paper's
+// expected shape: (b) flat-ish recovery latency (buffer RTT), (a) growing
+// with path RTT; FCT gap widens with RTT.
+#include "daq/trigger.hpp"
+#include "scenario/pilot.hpp"
+#include "scenario/today.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+using namespace mmtp::scenario;
+
+namespace {
+
+struct point {
+    double fct_ms{0};
+    double recovery_ms{0}; // p50 time to repair one loss
+};
+
+point run_tcp(sim_duration delay, double loss, std::uint64_t total)
+{
+    today_config cfg;
+    cfg.wan_delay = delay;
+    cfg.wan_loss = loss;
+    auto tb = make_today(cfg);
+    sim_time done = sim_time::never();
+    tb->storage_tcp->listen(today_testbed::storage_port, tb->wan_tcp_config(),
+                            [&](tcp::connection& c) {
+                                c.set_on_delivered([&, total](std::uint64_t got) {
+                                    if (got >= total && done.is_never())
+                                        done = tb->net.sim().now();
+                                });
+                            });
+    auto& conn = tb->dtn1_tcp->connect(tb->storage->address(),
+                                       today_testbed::storage_port,
+                                       tb->wan_tcp_config());
+    std::uint64_t queued = 0;
+    auto pump = [&] {
+        if (queued < total) queued += conn.send(total - queued);
+    };
+    conn.set_on_connected(pump);
+    conn.set_on_writable(pump);
+    tb->net.sim().run();
+    point p;
+    p.fct_ms = done.is_never() ? -1.0 : sim_duration{done.ns}.millis();
+    // TCP's fast retransmit needs ~1 path RTT (dupacks out + rtx back).
+    p.recovery_ms = (2 * delay).millis();
+    return p;
+}
+
+point run_mmtp(sim_duration delay, double loss, std::uint64_t total)
+{
+    pilot_config cfg;
+    cfg.wan_delay = delay;
+    cfg.wan_loss = loss;
+    auto tb = make_pilot(cfg);
+    sim_time done = sim_time::never();
+    std::uint64_t bytes = 0;
+    tb->dtn2_rx->set_on_datagram([&](const core::delivered_datagram& d) {
+        bytes += d.total_payload_bytes;
+        if (bytes >= total && done.is_never()) done = tb->net.sim().now();
+    });
+    daq::iceberg_stream::config scfg;
+    scfg.record_limit = total / daq::iceberg_stream::message_bytes(10) + 1;
+    scfg.trigger_interval = sim_duration{500};
+    daq::iceberg_stream src(tb->net.fork_rng(), scfg);
+    tb->sensor_tx->drive(src);
+    tb->net.sim().run();
+    point p;
+    p.fct_ms = done.is_never() ? -1.0 : sim_duration{done.ns}.millis();
+    p.recovery_ms = static_cast<double>(
+                        tb->dtn2_rx->stats().recovery_latency_us.percentile(50))
+        / 1000.0;
+    return p;
+}
+
+} // namespace
+
+int main()
+{
+    const std::uint64_t window = 100 * 1000 * 1000;
+    const double loss = 1e-3;
+    std::printf("C2: recovery latency & FCT vs WAN RTT at loss=%.0e, window=%.0f MB\n",
+                loss, window / 1e6);
+
+    telemetry::table t("hop-by-hop (MMTP, NAK to edge buffer) vs end-to-end (TCP)");
+    t.set_columns({"one-way delay", "TCP FCT", "MMTP FCT", "FCT ratio",
+                   "TCP recovery (~RTT)", "MMTP recovery p50"});
+    bool always_dominant = true;
+    for (const auto delay : {5_ms, 10_ms, 20_ms, 50_ms}) {
+        const auto tcp_pt = run_tcp(delay, loss, window);
+        const auto mm_pt = run_mmtp(delay, loss, window);
+        const double ratio = tcp_pt.fct_ms / (mm_pt.fct_ms > 0 ? mm_pt.fct_ms : 1);
+        if (ratio < 10.0) always_dominant = false;
+        char ratio_s[16];
+        std::snprintf(ratio_s, sizeof ratio_s, "%.2fx", ratio);
+        t.add_row({telemetry::fmt_duration_us(delay.micros()),
+                   telemetry::fmt_duration_us(tcp_pt.fct_ms * 1000.0),
+                   telemetry::fmt_duration_us(mm_pt.fct_ms * 1000.0), ratio_s,
+                   telemetry::fmt_duration_us(tcp_pt.recovery_ms * 1000.0),
+                   telemetry::fmt_duration_us(mm_pt.recovery_ms * 1000.0)});
+    }
+    t.print();
+    t.write_csv("bench_c2.csv");
+    std::printf("\nshape check: %s\n",
+                always_dominant
+                    ? "MMTP completes the window >=10x faster at every RTT: its "
+                      "recovery cost stays one buffer-RTT and it pays no "
+                      "per-loss window collapse, while TCP's loss-limited rate "
+                      "shrinks as RTT grows (Mathis scaling)."
+                    : "MMTP advantage fell below 10x somewhere; see rows.");
+    return 0;
+}

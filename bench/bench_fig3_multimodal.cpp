@@ -1,0 +1,139 @@
+// F3 — Fig. 3: the multi-modal goal scenario, measured head-to-head
+// against the Fig. 2 pipeline on the same path parameters.
+//
+// Same workload (one DAQ window), same WAN (delay, loss), two transports:
+//   (a) today: UDP -> tuned TCP (termination + relay at the storage DTN)
+//   (b) MMTP: mode 0 in the DAQ net, in-network upgrade to the
+//       age-sensitive recoverable mode, NAK recovery from the DTN buffer,
+//       no termination at the storage tier.
+// Reports window FCT, goodput, recovery traffic, and age statistics —
+// the shape to check: MMTP completes the window faster because loss is
+// repaired from the near buffer instead of the far source, and data is
+// not re-serialized through relay terminations.
+#include "daq/trigger.hpp"
+#include "scenario/pilot.hpp"
+#include "scenario/today.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+using namespace mmtp::scenario;
+
+namespace {
+
+struct result {
+    double fct_ms{0};
+    double goodput_gbps{0};
+    std::uint64_t rtx{0};
+    std::string note;
+};
+
+result run_today(sim_duration wan_delay, double loss, std::uint64_t total)
+{
+    today_config cfg;
+    cfg.wan_delay = wan_delay;
+    cfg.wan_loss = loss;
+    auto tb = make_today(cfg);
+    sim_time done = sim_time::never();
+    tb->storage_tcp->listen(today_testbed::storage_port, tb->wan_tcp_config(),
+                            [&](tcp::connection& c) {
+                                c.set_on_delivered([&, total](std::uint64_t got) {
+                                    if (got >= total && done.is_never())
+                                        done = tb->net.sim().now();
+                                });
+                            });
+    auto& conn = tb->dtn1_tcp->connect(tb->storage->address(),
+                                       today_testbed::storage_port,
+                                       tb->wan_tcp_config());
+    std::uint64_t queued = 0;
+    auto pump = [&] {
+        if (queued < total) queued += conn.send(total - queued);
+    };
+    conn.set_on_connected(pump);
+    conn.set_on_writable(pump);
+    tb->net.sim().run();
+
+    result r;
+    if (!done.is_never()) {
+        r.fct_ms = sim_duration{done.ns}.millis();
+        r.goodput_gbps = total * 8.0 / sim_duration{done.ns}.seconds() / 1e9;
+    }
+    r.rtx = conn.stats().retransmitted_segments;
+    r.note = "TCP from-source recovery";
+    return r;
+}
+
+result run_mmtp(sim_duration wan_delay, double loss, std::uint64_t total)
+{
+    pilot_config cfg;
+    cfg.wan_delay = wan_delay;
+    cfg.wan_loss = loss;
+    auto tb = make_pilot(cfg);
+
+    sim_time done = sim_time::never();
+    std::uint64_t got = 0;
+    tb->dtn2_rx->set_on_datagram([&](const core::delivered_datagram& d) {
+        got += d.total_payload_bytes;
+        if (got >= total && done.is_never()) done = tb->net.sim().now();
+    });
+
+    // Offered load ~90 Gbps of trigger records until `total` bytes.
+    daq::iceberg_stream::config scfg;
+    const auto msg_bytes = daq::iceberg_stream::message_bytes(10);
+    scfg.record_limit = total / msg_bytes + 1;
+    scfg.trigger_interval = sim_duration{500};
+    daq::iceberg_stream src(tb->net.fork_rng(), scfg);
+    tb->sensor_tx->drive(src);
+    tb->net.sim().run();
+
+    result r;
+    if (!done.is_never()) {
+        r.fct_ms = sim_duration{done.ns}.millis();
+        r.goodput_gbps = total * 8.0 / sim_duration{done.ns}.seconds() / 1e9;
+    }
+    r.rtx = tb->dtn1_svc->stats().retransmitted;
+    r.note = "NAK to DTN buffer";
+    return r;
+}
+
+} // namespace
+
+int main()
+{
+    const std::uint64_t window = 200 * 1000 * 1000; // one 200 MB DAQ window
+    std::printf("F3: one %.0f MB DAQ window across a lossy WAN — Fig. 2 pipeline vs "
+                "Fig. 3 multi-modal transport\n",
+                window / 1e6);
+
+    telemetry::table t("Fig. 3 vs Fig. 2 — window FCT and goodput");
+    t.set_columns({"WAN delay", "loss", "transport", "window FCT", "goodput",
+                   "retransmissions", "recovery path"});
+    bool mmtp_always_faster = true;
+    for (const auto delay : {5_ms, 20_ms, 50_ms}) {
+        for (const double loss : {0.0, 1e-3}) {
+            const auto today = run_today(delay, loss, window);
+            const auto mm = run_mmtp(delay, loss, window);
+            char lossbuf[16];
+            std::snprintf(lossbuf, sizeof lossbuf, "%.1e", loss);
+            t.add_row({telemetry::fmt_duration_us(delay.micros()), lossbuf, "today (F2)",
+                       telemetry::fmt_duration_us(today.fct_ms * 1000.0),
+                       telemetry::fmt_rate(today.goodput_gbps * 1000.0),
+                       telemetry::fmt_count(today.rtx), today.note});
+            t.add_row({telemetry::fmt_duration_us(delay.micros()), lossbuf, "MMTP (F3)",
+                       telemetry::fmt_duration_us(mm.fct_ms * 1000.0),
+                       telemetry::fmt_rate(mm.goodput_gbps * 1000.0),
+                       telemetry::fmt_count(mm.rtx), mm.note});
+            if (mm.fct_ms >= today.fct_ms) mmtp_always_faster = false;
+        }
+    }
+    t.print();
+    t.write_csv("bench_fig3.csv");
+    std::printf("\nshape check: %s\n",
+                mmtp_always_faster
+                    ? "MMTP completes the window faster at every point (expected: no "
+                      "terminations, near-buffer recovery, no CC ramp on planned paths)."
+                    : "MMTP was not faster everywhere — inspect the rows above.");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// T1 — Table 1 of the paper: DAQ rates of large instruments.
+//
+// The paper's table lists the acquisition rates the transport must carry:
+// CMS L1 63 Tbps, DUNE 120 Tbps, ECCE 100 Tbps, Mu2e 160 Gbps,
+// Vera Rubin 400 Gbps. This bench regenerates the table from the
+// workload-generator profiles and then *validates* each profile by
+// running a time-scaled replica (1/1000 of the aggregate, spread over the
+// profile's parallel streams) through the simulator and measuring the
+// generated rate against the published figure.
+#include "daq/message.hpp"
+#include "daq/profiles.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+
+int main()
+{
+    std::printf("T1: regenerating Table 1 (DAQ rates) from workload profiles\n");
+    telemetry::table t("Table 1 — DAQ rates for examples of large instruments");
+    t.set_columns({"experiment", "paper rate", "generated rate (scaled x1000)",
+                   "deviation", "msg size", "streams"});
+
+    bool all_ok = true;
+    for (const auto& profile : daq::table1_profiles()) {
+        // Build a 1/1000-scale generator and measure what it emits over
+        // a 10 ms window.
+        const double scale = 1e-3;
+        const auto interval = profile.message_interval(scale);
+        daq::composite_source mix;
+        for (std::uint32_t s = 0; s < profile.streams; ++s) {
+            // stagger stream starts across one interval to avoid phase locks
+            const sim_time start{static_cast<std::int64_t>(
+                interval.ns * static_cast<std::int64_t>(s) / profile.streams)};
+            mix.add(std::make_unique<daq::steady_source>(
+                wire::make_experiment_id(profile.experiment, s), profile.message_bytes,
+                interval, start));
+        }
+
+        const sim_duration window = 10_ms;
+        std::uint64_t bytes = 0;
+        while (auto tm = mix.next()) {
+            if (tm->at.ns >= window.ns) break;
+            bytes += tm->msg.size_bytes;
+        }
+        const double measured_bps = bytes * 8.0 / window.seconds();
+        const double expected_bps =
+            static_cast<double>(profile.daq_rate.bits_per_sec) * scale;
+        const double deviation = (measured_bps - expected_bps) / expected_bps;
+        if (deviation > 0.02 || deviation < -0.02) all_ok = false;
+
+        char dev[32];
+        std::snprintf(dev, sizeof dev, "%+.2f%%", deviation * 100.0);
+        t.add_row({profile.name, telemetry::fmt_rate(profile.daq_rate.mbps()),
+                   telemetry::fmt_rate(measured_bps / 1e6),
+                   dev, telemetry::fmt_count(profile.message_bytes) + " B",
+                   telemetry::fmt_count(profile.streams)});
+    }
+    t.print();
+    t.write_csv("bench_table1.csv");
+    std::printf("\n%s\n", all_ok
+                    ? "OK: every profile generates its published DAQ rate (±2%)."
+                    : "WARNING: some profile deviates >2% from Table 1.");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// supernova_alert — the paper's §3 integration scenario (Req 10).
+//
+// A supernova's neutrinos sweep through DUNE minutes-to-days before its
+// photons arrive anywhere; DUNE can therefore tell the Vera Rubin
+// telescope where to look. This example models the burst being detected
+// in the DAQ stream, a tiny direction alert being emitted, and the
+// network duplicating the alert in-flight to Vera Rubin *and* a set of
+// researcher sites — no store-and-forward terminations on the path.
+//
+//   $ ./supernova_alert
+#include "daq/alerts.hpp"
+#include "daq/trigger.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/sender.hpp"
+#include "netsim/network.hpp"
+#include "pnet/stages.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+
+int main()
+{
+    netsim::network net(1234);
+
+    // DUNE's far detector in South Dakota, an ESnet core element, the
+    // Rubin observatory relay in Chile, and two researcher campuses.
+    auto& dune = net.add_host("dune-daq");
+    auto& esnet = net.emplace<pnet::programmable_switch>("esnet-core");
+    auto& rubin = net.add_host("vera-rubin");
+    auto& campus_a = net.add_host("campus-a");
+    auto& campus_b = net.add_host("campus-b");
+    esnet.set_id_source(&net.ids());
+
+    netsim::link_config to_core;
+    to_core.rate = data_rate::from_gbps(400);
+    to_core.propagation = 12_ms; // SD -> core
+    net.connect(dune, esnet, to_core);
+
+    netsim::link_config to_chile;
+    to_chile.rate = data_rate::from_gbps(100);
+    to_chile.propagation = 70_ms; // core -> Chile
+    net.connect(esnet, rubin, to_chile);
+
+    netsim::link_config to_campus;
+    to_campus.rate = data_rate::from_gbps(100);
+    to_campus.propagation = 20_ms;
+    net.connect(esnet, campus_a, to_campus);
+    net.connect(esnet, campus_b, to_campus);
+    net.compute_routes();
+
+    // In-network duplication: anyone subscribed to DUNE alerts gets a
+    // copy forked at the core — researchers don't wait for the storage
+    // tier (§2.1, Fig. 3 ⑥).
+    auto dup = std::make_shared<pnet::duplication_stage>();
+    dup->add_subscriber(wire::experiments::dune, campus_a.address());
+    dup->add_subscriber(wire::experiments::dune, campus_b.address());
+    esnet.add_stage(dup);
+
+    // Endpoints.
+    core::stack dune_stack(dune, net.ids());
+    core::sender_config scfg;
+    scfg.origin_mode.set(wire::feature::duplication); // alert stream opts in
+    core::sender tx(dune_stack, rubin.address(), scfg);
+
+    struct site {
+        const char* name;
+        core::stack stack;
+        sim_time alert_at{sim_time::never()};
+        daq::supernova_alert_source::alert_body body{};
+    };
+    site sites[3] = {{"vera-rubin", {rubin, net.ids()}},
+                     {"campus-a", {campus_a, net.ids()}},
+                     {"campus-b", {campus_b, net.ids()}}};
+    for (auto& s : sites) {
+        s.stack.set_data_sink([&s, &net](core::delivered_datagram&& d) {
+            if (auto b = daq::supernova_alert_source::alert_body::parse(d.payload)) {
+                s.alert_at = net.sim().now();
+                s.body = *b;
+            }
+        });
+    }
+
+    // The physics: a quiet detector, then a neutrino burst at t=2 s.
+    const auto burst_onset = sim_time{(2_s).ns};
+    daq::supernova_source::config burst_cfg;
+    burst_cfg.experiment = wire::make_experiment_id(wire::experiments::dune, 0);
+    burst_cfg.burst_onset = burst_onset;
+    burst_cfg.burst_duration = 10_s;
+    burst_cfg.message_limit = 3000;
+    daq::supernova_source detector(burst_cfg);
+
+    // Trigger logic at the DAQ: the first burst-flagged record emits the
+    // direction alert.
+    bool alert_sent = false;
+    while (auto tm = detector.next()) {
+        if (!alert_sent && detector.in_burst(tm->at)) {
+            alert_sent = true;
+            daq::supernova_alert_source::alert_body body;
+            body.ra_udeg = 88'790'000 / 1000;   // Betelgeuse-ish RA
+            body.dec_udeg = 7'407'000 / 1000;   // and declination
+            body.confidence_permille = 982;
+            daq::supernova_alert_source alert(burst_cfg.experiment, tm->at, body);
+            tx.drive(alert);
+            std::printf("burst detected at t=%.3f s -> alert emitted\n",
+                        tm->at.seconds());
+        }
+    }
+    net.sim().run();
+
+    telemetry::table t("supernova early-warning: alert delivery");
+    t.set_columns({"site", "alert latency", "RA (udeg)", "dec (udeg)", "confidence"});
+    bool all_ok = true;
+    for (auto& s : sites) {
+        if (s.alert_at.is_never()) {
+            t.add_row({s.name, "NEVER ARRIVED", "-", "-", "-"});
+            all_ok = false;
+            continue;
+        }
+        const auto lat = s.alert_at - burst_onset;
+        char ra[32], dec[32], conf[32];
+        std::snprintf(ra, sizeof ra, "%d", s.body.ra_udeg);
+        std::snprintf(dec, sizeof dec, "%d", s.body.dec_udeg);
+        std::snprintf(conf, sizeof conf, "%.1f%%", s.body.confidence_permille / 10.0);
+        t.add_row({s.name, telemetry::fmt_duration_us(lat.micros()), ra, dec, conf});
+    }
+    t.print();
+    std::printf("\nclones forked in-network at esnet-core: %llu\n",
+                static_cast<unsigned long long>(esnet.stats().clones));
+    std::printf("%s\n", all_ok ? "OK: every site was warned within ~one-way delay."
+                               : "FAILED: some site missed the alert!");
+    return all_ok ? 0 : 1;
+}

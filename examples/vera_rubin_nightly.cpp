@@ -1,0 +1,161 @@
+// vera_rubin_nightly — the §2.1 traffic mix: the telescope's bulk nightly
+// capture shares the Chile→California path with an alert stream that
+// "bursts to 5.4 Gbps" and must reach researchers within milliseconds.
+//
+// Runs the mix twice over the same 100 G path — once with a plain FIFO
+// egress and once with the deadline-aware priority queue (§5.3) — and
+// prints the alert latency distribution for both. The bulk stream is
+// unaffected; the alerts stop queueing behind jumbo bulk frames.
+//
+//   $ ./vera_rubin_nightly
+#include "daq/alerts.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/sender.hpp"
+#include "netsim/network.hpp"
+#include "pnet/stages.hpp"
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+using namespace mmtp;
+using namespace mmtp::literals;
+
+namespace {
+
+struct run_result {
+    std::uint64_t bulk_datagrams{0};
+    std::uint64_t alert_msgs{0};
+    double bulk_gbps{0};
+    std::uint64_t alert_p50_us{0};
+    std::uint64_t alert_p99_us{0};
+};
+
+run_result run_mix(bool priority_queues)
+{
+    netsim::network net(99);
+    auto& telescope = net.add_host("rubin-summit");
+    auto& sw = net.emplace<pnet::programmable_switch>("summit-router");
+    auto& archive = net.add_host("us-archive");
+    sw.set_id_source(&net.ids());
+
+    netsim::link_config uplink;
+    uplink.rate = data_rate::from_gbps(100);
+    net.connect(telescope, sw, uplink);
+
+    netsim::link_config longhaul;
+    longhaul.rate = data_rate::from_gbps(40); // shared long-haul share
+    longhaul.propagation = 35_ms;             // Chile -> California
+    longhaul.queue_capacity_bytes = 64ull * 1024 * 1024;
+    if (priority_queues) {
+        auto q = std::make_unique<netsim::priority_queue_disc>(
+            pnet::timeliness_bands, longhaul.queue_capacity_bytes,
+            [](const netsim::packet& p) { return pnet::timeliness_band_of(p); });
+        net.connect_simplex(sw, archive, longhaul, std::move(q));
+    } else {
+        net.connect_simplex(sw, archive, longhaul);
+    }
+    net.connect_simplex(archive, sw, longhaul);
+    net.compute_routes();
+
+    core::stack tel_stack(telescope, net.ids());
+
+    // Bulk: the nightly capture, paced at 38 Gbps (capacity planned to
+    // fit the share). 30 TB would take hours; simulate a 2-second slice.
+    core::sender_config bulk_cfg;
+    bulk_cfg.pace = data_rate::from_gbps(38);
+    core::sender bulk_tx(tel_stack, archive.address(), bulk_cfg);
+
+    // Alerts: timeliness-marked messages (deadline 80 ms, within which
+    // they count as fresh).
+    core::sender_config alert_cfg;
+    alert_cfg.origin_mode.set(wire::feature::timeliness);
+    core::sender alert_tx(tel_stack, archive.address(), alert_cfg);
+    // give alert datagrams their timeliness field from the source
+    // (the telescope is MMTP-native)
+    // -- handled by origin mode + timestamp; deadline set via a rule:
+    auto modes = std::make_shared<pnet::mode_transition_stage>();
+    pnet::mode_rule rule;
+    rule.experiment = wire::experiments::vera_rubin;
+    rule.require_bits = wire::feature_bit(wire::feature::timeliness);
+    rule.set_bits = wire::feature_bit(wire::feature::timeliness);
+    rule.deadline_us = 80000;
+    modes->add_rule(rule);
+    sw.add_stage(modes);
+    sw.add_stage(std::make_shared<pnet::age_update_stage>());
+
+    core::stack rx_stack(archive, net.ids());
+    core::receiver rx(rx_stack);
+    run_result out;
+    histogram alert_latency;
+    std::uint64_t bulk_bytes = 0;
+    rx.set_on_datagram([&](const core::delivered_datagram& d) {
+        if (d.hdr.m.has(wire::feature::timeliness)) {
+            out.alert_msgs++;
+            if (d.hdr.timestamp_ns) {
+                const auto lat_ns = net.sim().now().ns
+                    - static_cast<std::int64_t>(*d.hdr.timestamp_ns);
+                alert_latency.record(lat_ns > 0 ? lat_ns / 1000 : 0);
+            }
+        } else {
+            out.bulk_datagrams++;
+            bulk_bytes += d.total_payload_bytes;
+        }
+    });
+
+    // Bulk: 2 s of back-to-back 8 KB messages at 38 Gbps.
+    daq::steady_source bulk_src(
+        wire::make_experiment_id(wire::experiments::vera_rubin, 1), 8192,
+        sim_duration{1725}, sim_time{0}, 1100000); // ~38 Gbps for ~1.9 s
+    bulk_tx.drive(bulk_src);
+
+    // Alerts: one visit burst (10k alerts of ~100 KB at 5.4 Gbps-ish) in
+    // the middle of the bulk transfer.
+    daq::alert_burst_source::config acfg;
+    acfg.experiment = wire::make_experiment_id(wire::experiments::vera_rubin, 2);
+    acfg.alerts_per_visit = 2000;
+    acfg.mean_alert_bytes = 100000;
+    acfg.intra_burst_gap = 150_us; // ~5.3 Gbps
+    acfg.visit_limit = 1;
+    daq::alert_burst_source alert_src(net.fork_rng(), acfg);
+    // shift the burst into the steady state of the bulk flow
+    while (auto tm = alert_src.next()) {
+        auto msg = tm->msg;
+        const auto at = tm->at + 500_ms;
+        msg.timestamp_ns = static_cast<std::uint64_t>(at.ns);
+        net.sim().schedule_at(at, [&alert_tx, msg] { alert_tx.send_message(msg); });
+    }
+
+    net.sim().run();
+    out.bulk_gbps = bulk_bytes * 8.0 / net.sim().now().seconds() / 1e9;
+    out.alert_p50_us = alert_latency.percentile(50);
+    out.alert_p99_us = alert_latency.percentile(99);
+    return out;
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("Vera Rubin nightly mix: 38 Gbps bulk + 5.3 Gbps alert burst over a "
+                "40 Gbps long-haul share (35 ms)\n");
+    const auto fifo = run_mix(false);
+    const auto prio = run_mix(true);
+
+    telemetry::table t("alert latency with and without deadline-aware queueing");
+    t.set_columns({"egress queue", "bulk goodput", "alerts", "alert p50", "alert p99"});
+    auto row = [&](const char* name, const run_result& r) {
+        t.add_row({name, telemetry::fmt_rate(r.bulk_gbps * 1000.0),
+                   telemetry::fmt_count(r.alert_msgs),
+                   telemetry::fmt_duration_us(static_cast<double>(r.alert_p50_us)),
+                   telemetry::fmt_duration_us(static_cast<double>(r.alert_p99_us))});
+    };
+    row("FIFO", fifo);
+    row("deadline-aware priority", prio);
+    t.print();
+
+    const bool ok = prio.alert_p99_us < fifo.alert_p99_us && prio.alert_msgs > 0;
+    std::printf("\n%s\n",
+                ok ? "OK: age-sensitive alerts bypass bulk queueing (Req 3)."
+                   : "note: priority queueing did not help here — inspect config.");
+    return 0;
+}

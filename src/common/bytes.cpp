@@ -1,0 +1,130 @@
+#include "common/bytes.hpp"
+
+namespace mmtp {
+
+void byte_writer::u16(std::uint16_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void byte_writer::u24(std::uint32_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void byte_writer::u32(std::uint32_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void byte_writer::u48(std::uint64_t v)
+{
+    for (int shift = 40; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void byte_writer::u64(std::uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void byte_writer::bytes(std::span<const std::uint8_t> src)
+{
+    buf_.insert(buf_.end(), src.begin(), src.end());
+}
+
+void byte_writer::zeros(std::size_t n)
+{
+    buf_.insert(buf_.end(), n, 0);
+}
+
+void byte_writer::patch_u16(std::size_t offset, std::uint16_t v)
+{
+    if (offset + 2 > buf_.size()) return;
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+bool byte_reader::ensure(std::size_t n)
+{
+    if (failed_ || pos_ + n > data_.size()) {
+        failed_ = true;
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t byte_reader::u8()
+{
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+}
+
+std::uint16_t byte_reader::u16()
+{
+    if (!ensure(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t byte_reader::u24()
+{
+    if (!ensure(3)) return 0;
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16)
+        | (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8)
+        | data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+}
+
+std::uint32_t byte_reader::u32()
+{
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t byte_reader::u48()
+{
+    if (!ensure(6)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 6; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 6;
+    return v;
+}
+
+std::uint64_t byte_reader::u64()
+{
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+}
+
+std::span<const std::uint8_t> byte_reader::bytes(std::size_t n)
+{
+    if (!ensure(n)) return {};
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+}
+
+void byte_reader::skip(std::size_t n)
+{
+    if (!ensure(n)) return;
+    pos_ += n;
+}
+
+} // namespace mmtp

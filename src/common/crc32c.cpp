@@ -1,0 +1,54 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace mmtp {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u; // reflected CRC-32C polynomial
+
+std::array<std::uint32_t, 256> make_table()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<std::uint32_t, 256>& table()
+{
+    static const auto t = make_table();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t crc32c_init()
+{
+    return 0xffffffffu;
+}
+
+std::uint32_t crc32c_update(std::uint32_t state, std::span<const std::uint8_t> data)
+{
+    const auto& t = table();
+    for (std::uint8_t b : data)
+        state = t[(state ^ b) & 0xffu] ^ (state >> 8);
+    return state;
+}
+
+std::uint32_t crc32c_finish(std::uint32_t state)
+{
+    return state ^ 0xffffffffu;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data)
+{
+    return crc32c_finish(crc32c_update(crc32c_init(), data));
+}
+
+} // namespace mmtp

@@ -1,0 +1,20 @@
+// crc32c.hpp — CRC-32C (Castagnoli), used for payload integrity checks in
+// DAQ frames and for the simulator's corruption model (a corrupted packet
+// is one whose recomputed CRC no longer matches).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mmtp {
+
+/// CRC-32C of `data` (initial value and final xor per RFC 3720).
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+/// Incremental form: feed chunks, passing the previous return value as
+/// `state`; start with crc32c_init() and finish with crc32c_finish().
+std::uint32_t crc32c_init();
+std::uint32_t crc32c_update(std::uint32_t state, std::span<const std::uint8_t> data);
+std::uint32_t crc32c_finish(std::uint32_t state);
+
+} // namespace mmtp

@@ -1,0 +1,50 @@
+// interval_set.hpp — ordered set of disjoint half-open [start, end)
+// intervals over uint64. Used by TCP reassembly/SACK scoreboards and by
+// the MMTP receiver's loss detector (gap tracking for NAKs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mmtp {
+
+class interval_set {
+public:
+    /// Inserts [start, end), merging with neighbours. No-op if start>=end.
+    void insert(std::uint64_t start, std::uint64_t end);
+
+    /// Removes [start, end) from the set.
+    void erase(std::uint64_t start, std::uint64_t end);
+
+    /// True if `value` lies inside some interval.
+    bool contains(std::uint64_t value) const;
+
+    /// True if all of [start, end) is covered.
+    bool covers(std::uint64_t start, std::uint64_t end) const;
+
+    /// End of the interval starting at or covering `from`, i.e. the first
+    /// missing value >= from.
+    std::uint64_t next_missing(std::uint64_t from) const;
+
+    /// Gaps within [start, end) not covered by the set.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps(std::uint64_t start,
+                                                              std::uint64_t end) const;
+
+    /// Total covered length.
+    std::uint64_t covered() const;
+
+    bool empty() const { return m_.empty(); }
+    std::size_t interval_count() const { return m_.size(); }
+    void clear() { m_.clear(); }
+
+    /// Iteration over intervals (start, end), ascending.
+    const std::map<std::uint64_t, std::uint64_t>& intervals() const { return m_; }
+
+private:
+    std::map<std::uint64_t, std::uint64_t> m_; // start -> end
+};
+
+} // namespace mmtp

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+namespace mmtp {
+
+namespace {
+log_level g_level = log_level::off;
+
+const char* level_tag(log_level level)
+{
+    switch (level) {
+    case log_level::error: return "ERROR";
+    case log_level::warn: return "WARN ";
+    case log_level::info: return "INFO ";
+    case log_level::debug: return "DEBUG";
+    default: return "?";
+    }
+}
+} // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+log_level get_log_level() { return g_level; }
+
+namespace detail {
+void log_line(log_level level, const std::string& msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+} // namespace detail
+
+} // namespace mmtp

@@ -1,0 +1,62 @@
+// log.hpp — minimal leveled logger. Off by default so tests/benches stay
+// quiet; examples enable info-level narration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mmtp {
+
+enum class log_level { off, error, warn, info, debug };
+
+/// Global log threshold; messages above it are dropped.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+namespace detail {
+void log_line(log_level level, const std::string& msg);
+}
+
+/// printf-style logging helpers.
+template <typename... Args>
+void log_error(const char* fmt, Args... args)
+{
+    if (get_log_level() < log_level::error) return;
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    detail::log_line(log_level::error, buf);
+}
+
+template <typename... Args>
+void log_warn(const char* fmt, Args... args)
+{
+    if (get_log_level() < log_level::warn) return;
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    detail::log_line(log_level::warn, buf);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args... args)
+{
+    if (get_log_level() < log_level::info) return;
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    detail::log_line(log_level::info, buf);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args)
+{
+    if (get_log_level() < log_level::debug) return;
+    char buf[1024];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    detail::log_line(log_level::debug, buf);
+}
+
+inline void log_error(const char* msg) { log_error("%s", msg); }
+inline void log_warn(const char* msg) { log_warn("%s", msg); }
+inline void log_info(const char* msg) { log_info("%s", msg); }
+inline void log_debug(const char* msg) { log_debug("%s", msg); }
+
+} // namespace mmtp

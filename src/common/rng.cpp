@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace mmtp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+rng::rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double rng::uniform()
+{
+    // 53 high bits -> double in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t rng::uniform_int(std::uint64_t lo, std::uint64_t hi)
+{
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next(); // full range
+    return lo + next() % span;
+}
+
+bool rng::chance(double p)
+{
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double rng::exponential(double mean)
+{
+    double u = uniform();
+    // avoid log(0)
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double rng::normal(double mean, double stddev)
+{
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return mean + stddev * spare_normal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_normal_ = r * std::sin(theta);
+    have_spare_normal_ = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+rng rng::fork()
+{
+    return rng(next() ^ 0xa5a5a5a55a5a5a5aull);
+}
+
+} // namespace mmtp

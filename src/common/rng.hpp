@@ -1,0 +1,45 @@
+// rng.hpp — deterministic pseudo-random source (xoshiro256**).
+//
+// Everything stochastic in the library (loss, jitter, workload activity)
+// draws from an rng seeded explicitly by the caller, so simulations and
+// benches reproduce bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+namespace mmtp {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
+class rng {
+public:
+    explicit rng(std::uint64_t seed);
+
+    /// Uniform over the whole 64-bit range.
+    std::uint64_t next();
+
+    /// Uniform real in [0, 1).
+    double uniform();
+
+    /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+    std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+    /// True with probability p (p clamped to [0, 1]).
+    bool chance(double p);
+
+    /// Exponential with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Standard normal via Box–Muller, scaled to (mean, stddev).
+    double normal(double mean, double stddev);
+
+    /// Forks an independently-seeded child stream (for per-component rngs).
+    rng fork();
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+    bool have_spare_normal_{false};
+    double spare_normal_{0.0};
+};
+
+} // namespace mmtp

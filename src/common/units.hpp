@@ -1,0 +1,103 @@
+// units.hpp — simulated time, data-rate and data-size value types.
+//
+// The whole library runs on a simulated clock: `sim_time` is a signed
+// nanosecond count since simulation start. Rates are bits per second.
+// Strong types (rather than raw integers) keep bits, bytes, seconds and
+// nanoseconds from being mixed up at interfaces.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace mmtp {
+
+/// Nanoseconds since the start of the simulation.
+struct sim_time {
+    std::int64_t ns{0};
+
+    constexpr auto operator<=>(const sim_time&) const = default;
+
+    static constexpr sim_time zero() { return sim_time{0}; }
+    /// Sentinel meaning "never" / unset; larger than any real time.
+    static constexpr sim_time never()
+    {
+        return sim_time{std::numeric_limits<std::int64_t>::max()};
+    }
+    constexpr bool is_never() const { return ns == never().ns; }
+
+    constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+    constexpr double millis() const { return static_cast<double>(ns) * 1e-6; }
+    constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+};
+
+/// A span of simulated time, also in nanoseconds.
+struct sim_duration {
+    std::int64_t ns{0};
+
+    constexpr auto operator<=>(const sim_duration&) const = default;
+
+    static constexpr sim_duration zero() { return sim_duration{0}; }
+    constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+    constexpr double millis() const { return static_cast<double>(ns) * 1e-6; }
+    constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+};
+
+constexpr sim_time operator+(sim_time t, sim_duration d) { return {t.ns + d.ns}; }
+constexpr sim_time operator-(sim_time t, sim_duration d) { return {t.ns - d.ns}; }
+constexpr sim_duration operator-(sim_time a, sim_time b) { return {a.ns - b.ns}; }
+constexpr sim_duration operator+(sim_duration a, sim_duration b) { return {a.ns + b.ns}; }
+constexpr sim_duration operator-(sim_duration a, sim_duration b) { return {a.ns - b.ns}; }
+constexpr sim_duration operator*(sim_duration d, std::int64_t k) { return {d.ns * k}; }
+constexpr sim_duration operator*(std::int64_t k, sim_duration d) { return {d.ns * k}; }
+constexpr sim_duration operator/(sim_duration d, std::int64_t k) { return {d.ns / k}; }
+
+namespace literals {
+constexpr sim_duration operator""_ns(unsigned long long v) { return {static_cast<std::int64_t>(v)}; }
+constexpr sim_duration operator""_us(unsigned long long v) { return {static_cast<std::int64_t>(v) * 1000}; }
+constexpr sim_duration operator""_ms(unsigned long long v) { return {static_cast<std::int64_t>(v) * 1000000}; }
+constexpr sim_duration operator""_s(unsigned long long v) { return {static_cast<std::int64_t>(v) * 1000000000}; }
+} // namespace literals
+
+/// Link or flow rate in bits per second.
+struct data_rate {
+    std::uint64_t bits_per_sec{0};
+
+    constexpr auto operator<=>(const data_rate&) const = default;
+
+    static constexpr data_rate from_gbps(double g)
+    {
+        return {static_cast<std::uint64_t>(g * 1e9)};
+    }
+    static constexpr data_rate from_mbps(double m)
+    {
+        return {static_cast<std::uint64_t>(m * 1e6)};
+    }
+    constexpr double gbps() const { return static_cast<double>(bits_per_sec) * 1e-9; }
+    constexpr double mbps() const { return static_cast<double>(bits_per_sec) * 1e-6; }
+
+    /// Time to serialize `bytes` onto a link of this rate.
+    constexpr sim_duration transmission_time(std::uint64_t bytes) const
+    {
+        if (bits_per_sec == 0) return sim_duration{std::numeric_limits<std::int64_t>::max() / 2};
+        // ns = bits * 1e9 / rate, computed without overflow for jumbo frames
+        const auto bits = bytes * 8;
+        return sim_duration{static_cast<std::int64_t>(
+            (static_cast<__int128>(bits) * 1000000000) / bits_per_sec)};
+    }
+};
+
+namespace literals {
+constexpr data_rate operator""_gbps(unsigned long long v) { return {v * 1000000000ull}; }
+constexpr data_rate operator""_mbps(unsigned long long v) { return {v * 1000000ull}; }
+constexpr data_rate operator""_kbps(unsigned long long v) { return {v * 1000ull}; }
+} // namespace literals
+
+/// Convenience byte-size literals.
+namespace literals {
+constexpr std::uint64_t operator""_kib(unsigned long long v) { return v * 1024ull; }
+constexpr std::uint64_t operator""_mib(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t operator""_gib(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+} // namespace literals
+
+} // namespace mmtp

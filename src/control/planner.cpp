@@ -1,0 +1,73 @@
+#include "control/planner.hpp"
+
+namespace mmtp::control {
+
+void capacity_planner::register_link(const link_id& id, data_rate capacity, double headroom)
+{
+    link_budget b;
+    b.capacity = capacity;
+    double usable = static_cast<double>(capacity.bits_per_sec) * (1.0 - headroom);
+    b.usable_bits = usable > 0 ? static_cast<std::uint64_t>(usable) : 0;
+    links_[id] = b;
+}
+
+std::optional<flow_id> capacity_planner::admit(const std::vector<link_id>& path,
+                                               data_rate rate)
+{
+    for (const auto& id : path) {
+        auto it = links_.find(id);
+        if (it == links_.end()) return std::nullopt; // unknown link
+        if (it->second.committed_bits + rate.bits_per_sec > it->second.usable_bits)
+            return std::nullopt;
+    }
+    return record(path, rate);
+}
+
+flow_id capacity_planner::admit_unchecked(const std::vector<link_id>& path, data_rate rate)
+{
+    return record(path, rate);
+}
+
+flow_id capacity_planner::record(const std::vector<link_id>& path, data_rate rate)
+{
+    for (const auto& id : path) {
+        auto it = links_.find(id);
+        if (it != links_.end()) it->second.committed_bits += rate.bits_per_sec;
+    }
+    const auto id = next_flow_++;
+    flows_[id] = admission{id, rate, path};
+    return id;
+}
+
+void capacity_planner::release(flow_id id)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    for (const auto& lid : it->second.path) {
+        auto lit = links_.find(lid);
+        if (lit != links_.end()) {
+            if (lit->second.committed_bits >= it->second.rate.bits_per_sec)
+                lit->second.committed_bits -= it->second.rate.bits_per_sec;
+            else
+                lit->second.committed_bits = 0;
+        }
+    }
+    flows_.erase(it);
+}
+
+data_rate capacity_planner::committed(const link_id& id) const
+{
+    auto it = links_.find(id);
+    return it == links_.end() ? data_rate{0} : data_rate{it->second.committed_bits};
+}
+
+data_rate capacity_planner::available(const link_id& id) const
+{
+    auto it = links_.find(id);
+    if (it == links_.end()) return data_rate{0};
+    const auto& b = it->second;
+    return data_rate{b.usable_bits > b.committed_bits ? b.usable_bits - b.committed_bits
+                                                      : 0};
+}
+
+} // namespace mmtp::control

@@ -1,0 +1,68 @@
+// planner.hpp — capacity planning and flow admission.
+//
+// DAQ transfers run on capacity-planned, scheduled paths: "resource
+// reservation and capacity planning forestall the potential harm from
+// misbehaving peers" (§4.1), and the paper hypothesizes that MMTP
+// therefore "does not require sophisticated congestion control" (§5.3).
+// The planner is where that planning happens: links register budgets,
+// flows are admitted against them, and the admitted rate becomes the
+// sender's pace. The A2 ablation deliberately overbooks to probe the
+// hypothesis's boundary.
+#pragma once
+
+#include "common/units.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmtp::control {
+
+using link_id = std::string;
+using flow_id = std::uint64_t;
+
+struct admission {
+    flow_id id{0};
+    data_rate rate{0};
+    std::vector<link_id> path;
+};
+
+class capacity_planner {
+public:
+    /// Registers a link budget. `headroom` reserves a fraction for
+    /// control traffic and burst absorption (default 5%).
+    void register_link(const link_id& id, data_rate capacity, double headroom = 0.05);
+
+    /// Admits `rate` along `path` if every link has room; returns the
+    /// flow id, or std::nullopt and changes nothing.
+    std::optional<flow_id> admit(const std::vector<link_id>& path, data_rate rate);
+
+    /// Force-admits regardless of budgets (ablation A2's overbooking).
+    flow_id admit_unchecked(const std::vector<link_id>& path, data_rate rate);
+
+    void release(flow_id id);
+
+    /// Committed rate on a link (admitted flows crossing it).
+    data_rate committed(const link_id& id) const;
+    /// Remaining admittable rate on a link.
+    data_rate available(const link_id& id) const;
+
+    std::size_t flow_count() const { return flows_.size(); }
+
+private:
+    struct link_budget {
+        data_rate capacity{0};
+        std::uint64_t usable_bits{0};
+        std::uint64_t committed_bits{0};
+    };
+
+    flow_id record(const std::vector<link_id>& path, data_rate rate);
+
+    std::map<link_id, link_budget> links_;
+    std::map<flow_id, admission> flows_;
+    flow_id next_flow_{1};
+};
+
+} // namespace mmtp::control

@@ -1,0 +1,57 @@
+#include "control/resource_map.hpp"
+
+namespace mmtp::control {
+
+void resource_map::add(resource_record r)
+{
+    for (auto& existing : records_) {
+        if (existing.addr == r.addr) {
+            existing = std::move(r);
+            return;
+        }
+    }
+    records_.push_back(std::move(r));
+}
+
+void resource_map::ingest_advert(const wire::buffer_advert_body& advert,
+                                 const std::string& domain)
+{
+    resource_record r;
+    r.kind = resource_kind::retransmission_buffer;
+    r.addr = advert.buffer_addr;
+    r.capacity_bytes = advert.capacity_bytes;
+    r.retention = sim_duration{static_cast<std::int64_t>(advert.retention_ms) * 1000000};
+    r.domain = domain;
+    r.name = "advertised-buffer";
+    add(std::move(r));
+}
+
+std::optional<resource_record> resource_map::find(wire::ipv4_addr addr) const
+{
+    for (const auto& r : records_)
+        if (r.addr == addr) return r;
+    return std::nullopt;
+}
+
+std::optional<resource_record> resource_map::nearest_upstream_buffer(
+    const std::vector<wire::ipv4_addr>& path, std::size_t before_index) const
+{
+    std::optional<resource_record> best;
+    for (std::size_t i = 0; i < path.size() && i < before_index; ++i) {
+        if (auto r = find(path[i]);
+            r && r->kind == resource_kind::retransmission_buffer) {
+            best = r; // later matches are nearer the receiver
+        }
+    }
+    return best;
+}
+
+std::size_t resource_map::count(resource_kind kind) const
+{
+    std::size_t n = 0;
+    for (const auto& r : records_)
+        if (r.kind == kind) ++n;
+    return n;
+}
+
+} // namespace mmtp::control

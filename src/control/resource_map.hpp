@@ -1,0 +1,62 @@
+// resource_map.hpp — the in-network resource map (§6 challenge (1)).
+//
+// The paper "initially envisage[s] having a map of in-network
+// programmable resources that DAQ workloads can use", shared between
+// operators (e.g. piggy-backed on BGP). This registry is that map: a
+// control-plane database of programmable elements and retransmission
+// buffers, fed either statically (pre-supposed knowledge, as in the
+// pilot) or from in-band buffer_advert messages.
+#pragma once
+
+#include "common/units.hpp"
+#include "wire/control.hpp"
+#include "wire/lower.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmtp::control {
+
+enum class resource_kind {
+    retransmission_buffer,
+    programmable_switch,
+    fpga_nic,
+    dtn,
+};
+
+struct resource_record {
+    resource_kind kind{resource_kind::programmable_switch};
+    wire::ipv4_addr addr{0};
+    std::string name;
+    /// Buffer capacity (buffers) or pipeline capability tag (elements).
+    std::uint64_t capacity_bytes{0};
+    sim_duration retention{sim_duration::zero()};
+    /// Operator/administrative domain the resource belongs to.
+    std::string domain;
+};
+
+class resource_map {
+public:
+    void add(resource_record r);
+
+    /// Ingests an in-band advertisement (from a buffer_service).
+    void ingest_advert(const wire::buffer_advert_body& advert, const std::string& domain);
+
+    const std::vector<resource_record>& records() const { return records_; }
+    std::optional<resource_record> find(wire::ipv4_addr addr) const;
+
+    /// The last buffer in `path` (ordered source → destination) before
+    /// position `before_index` — i.e. the *nearest upstream* buffer a
+    /// receiver at that position should NAK to (§5.1).
+    std::optional<resource_record> nearest_upstream_buffer(
+        const std::vector<wire::ipv4_addr>& path, std::size_t before_index) const;
+
+    std::size_t count(resource_kind kind) const;
+
+private:
+    std::vector<resource_record> records_;
+};
+
+} // namespace mmtp::control

@@ -1,0 +1,275 @@
+#include "daq/archive.hpp"
+
+#include "common/crc32c.hpp"
+
+namespace mmtp::daq {
+
+namespace {
+
+void write_string(byte_writer& w, const std::string& s)
+{
+    w.u16(static_cast<std::uint16_t>(s.size()));
+    w.bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::optional<std::string> read_string(byte_reader& r)
+{
+    const auto n = r.u16();
+    const auto bytes = r.bytes(n);
+    if (r.failed()) return std::nullopt;
+    return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+void write_attributes(byte_writer& w, const std::map<std::string, std::string>& attrs)
+{
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    for (const auto& [k, v] : attrs) {
+        write_string(w, k);
+        write_string(w, v);
+    }
+}
+
+std::optional<std::map<std::string, std::string>> read_attributes(byte_reader& r)
+{
+    std::map<std::string, std::string> out;
+    const auto n = r.u16();
+    for (std::uint16_t i = 0; i < n; ++i) {
+        auto k = read_string(r);
+        auto v = read_string(r);
+        if (!k || !v) return std::nullopt;
+        out[*k] = *v;
+    }
+    return out;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- writer
+
+archive_writer::archive_writer(archive_limits limits) : limits_(limits) {}
+
+void archive_writer::set_attribute(const std::string& key, const std::string& value)
+{
+    attributes_[key] = value;
+}
+
+void archive_writer::set_dataset_attribute(wire::experiment_id experiment,
+                                           const std::string& key,
+                                           const std::string& value)
+{
+    datasets_[experiment].attributes[key] = value;
+}
+
+void archive_writer::append(wire::experiment_id experiment, archived_record r)
+{
+    auto& ds = datasets_[experiment];
+    ds.open_chunk.push_back(std::move(r));
+    ds.record_count++;
+    records_++;
+    if (ds.open_chunk.size() >= limits_.chunk_records) seal_chunk(ds);
+}
+
+void archive_writer::seal_chunk(dataset& ds)
+{
+    if (ds.open_chunk.empty()) return;
+    byte_writer w;
+    w.u32(static_cast<std::uint32_t>(ds.open_chunk.size()));
+    for (const auto& rec : ds.open_chunk) {
+        w.u64(rec.sequence);
+        w.u64(rec.timestamp_ns);
+        w.u32(rec.size_bytes);
+        w.u32(static_cast<std::uint32_t>(rec.payload.size()));
+        w.bytes(rec.payload);
+    }
+    const auto body = w.take();
+    const auto crc = crc32c(body);
+
+    const std::uint64_t offset = ds.sealed_chunks.size();
+    byte_writer chunk;
+    chunk.u32(crc);
+    chunk.bytes(body);
+    const auto bytes = chunk.take();
+    ds.sealed_chunks.insert(ds.sealed_chunks.end(), bytes.begin(), bytes.end());
+    ds.chunk_spans.push_back({offset, bytes.size()});
+    ds.chunk_counts.push_back(static_cast<std::uint32_t>(ds.open_chunk.size()));
+    ds.open_chunk.clear();
+}
+
+std::vector<std::uint8_t> archive_writer::finalize()
+{
+    for (auto& [id, ds] : datasets_) seal_chunk(ds);
+
+    byte_writer w;
+    // superblock: magic, version, placeholder for index offset
+    w.u64(archive_magic);
+    w.u16(archive_version);
+    const std::size_t index_offset_pos = w.size();
+    w.u64(0); // patched below (we patch via rebuild: byte_writer lacks u64 patch)
+
+    // dataset chunk payloads, recording absolute offsets
+    std::map<wire::experiment_id, std::uint64_t> base_offsets;
+    for (auto& [id, ds] : datasets_) {
+        base_offsets[id] = w.size();
+        w.bytes(ds.sealed_chunks);
+    }
+
+    const std::uint64_t index_offset = w.size();
+    // index: file attributes, then datasets
+    write_attributes(w, attributes_);
+    w.u32(static_cast<std::uint32_t>(datasets_.size()));
+    for (auto& [id, ds] : datasets_) {
+        w.u32(id);
+        w.u64(ds.record_count);
+        write_attributes(w, ds.attributes);
+        w.u32(static_cast<std::uint32_t>(ds.chunk_spans.size()));
+        for (std::size_t i = 0; i < ds.chunk_spans.size(); ++i) {
+            w.u64(base_offsets[id] + ds.chunk_spans[i].first);
+            w.u64(ds.chunk_spans[i].second);
+            w.u32(ds.chunk_counts[i]);
+        }
+    }
+
+    auto blob = w.take();
+    // patch the index offset (big-endian u64 at index_offset_pos)
+    for (int i = 0; i < 8; ++i)
+        blob[index_offset_pos + i] =
+            static_cast<std::uint8_t>(index_offset >> (8 * (7 - i)));
+    datasets_.clear();
+    return blob;
+}
+
+// ----------------------------------------------------------- reader
+
+std::optional<archive_reader> archive_reader::open(std::vector<std::uint8_t> blob)
+{
+    archive_reader out;
+    out.blob_ = std::move(blob);
+
+    byte_reader r(out.blob_);
+    if (r.u64() != archive_magic) return std::nullopt;
+    if (r.u16() != archive_version) return std::nullopt;
+    const auto index_offset = r.u64();
+    if (r.failed() || index_offset >= out.blob_.size()) return std::nullopt;
+
+    byte_reader idx(std::span<const std::uint8_t>(out.blob_).subspan(index_offset));
+    auto attrs = read_attributes(idx);
+    if (!attrs) return std::nullopt;
+    out.attributes_ = std::move(*attrs);
+
+    const auto n_datasets = idx.u32();
+    for (std::uint32_t d = 0; d < n_datasets; ++d) {
+        const auto id = idx.u32();
+        dataset_view view;
+        view.record_count = idx.u64();
+        auto ds_attrs = read_attributes(idx);
+        if (!ds_attrs) return std::nullopt;
+        view.attributes = std::move(*ds_attrs);
+        const auto n_chunks = idx.u32();
+        for (std::uint32_t c = 0; c < n_chunks; ++c) {
+            chunk_ref ref;
+            ref.offset = idx.u64();
+            ref.length = idx.u64();
+            ref.records = idx.u32();
+            if (ref.offset + ref.length > out.blob_.size()) return std::nullopt;
+            view.chunks.push_back(ref);
+        }
+        out.datasets_[id] = std::move(view);
+    }
+    if (idx.failed()) return std::nullopt;
+
+    // validate every chunk checksum up front (HDF5's filter check)
+    for (const auto& [id, view] : out.datasets_) {
+        for (const auto& c : view.chunks) {
+            byte_reader cr(
+                std::span<const std::uint8_t>(out.blob_).subspan(c.offset, c.length));
+            const auto crc = cr.u32();
+            const auto body = cr.bytes(c.length - 4);
+            if (cr.failed() || crc32c(body) != crc) return std::nullopt;
+        }
+    }
+    return out;
+}
+
+std::vector<wire::experiment_id> archive_reader::dataset_ids() const
+{
+    std::vector<wire::experiment_id> out;
+    for (const auto& [id, view] : datasets_) out.push_back(id);
+    return out;
+}
+
+std::uint64_t archive_reader::record_count(wire::experiment_id experiment) const
+{
+    auto it = datasets_.find(experiment);
+    return it == datasets_.end() ? 0 : it->second.record_count;
+}
+
+std::vector<archived_record> archive_reader::parse_chunk(const chunk_ref& c) const
+{
+    std::vector<archived_record> out;
+    byte_reader r(std::span<const std::uint8_t>(blob_).subspan(c.offset, c.length));
+    r.skip(4); // crc, validated at open()
+    const auto n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        archived_record rec;
+        rec.sequence = r.u64();
+        rec.timestamp_ns = r.u64();
+        rec.size_bytes = r.u32();
+        const auto payload_len = r.u32();
+        const auto payload = r.bytes(payload_len);
+        rec.payload.assign(payload.begin(), payload.end());
+        if (r.failed()) return {};
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+std::vector<archived_record> archive_reader::read_all(wire::experiment_id experiment) const
+{
+    std::vector<archived_record> out;
+    auto it = datasets_.find(experiment);
+    if (it == datasets_.end()) return out;
+    for (const auto& c : it->second.chunks) {
+        auto records = parse_chunk(c);
+        out.insert(out.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+    }
+    return out;
+}
+
+std::optional<archived_record> archive_reader::read_at(wire::experiment_id experiment,
+                                                       std::uint64_t index) const
+{
+    auto it = datasets_.find(experiment);
+    if (it == datasets_.end()) return std::nullopt;
+    std::uint64_t base = 0;
+    for (const auto& c : it->second.chunks) {
+        if (index < base + c.records) {
+            auto records = parse_chunk(c);
+            const auto within = index - base;
+            if (within >= records.size()) return std::nullopt;
+            return records[within];
+        }
+        base += c.records;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string> archive_reader::attribute(const std::string& key) const
+{
+    auto it = attributes_.find(key);
+    if (it == attributes_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::string> archive_reader::dataset_attribute(
+    wire::experiment_id experiment, const std::string& key) const
+{
+    auto it = datasets_.find(experiment);
+    if (it == datasets_.end()) return std::nullopt;
+    auto kit = it->second.attributes.find(key);
+    if (kit == it->second.attributes.end()) return std::nullopt;
+    return kit->second;
+}
+
+} // namespace mmtp::daq

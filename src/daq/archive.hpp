@@ -1,0 +1,127 @@
+// archive.hpp — HDF5-style archival container for DAQ data (§6 (2)).
+//
+// The paper's future work asks how on-path or end-site resources can
+// "transcode into other formats, such as HDF5 which is ubiquitously used
+// for storage in scientific computing". This module is the storage-side
+// substrate for that: a self-describing chunked container with the
+// HDF5 properties that matter for DAQ archiving —
+//   * a superblock with magic, version and a root index offset,
+//   * per-experiment datasets of fixed-format records,
+//   * chunked layout with per-chunk CRC32C (like HDF5's Fletcher filter),
+//   * string attributes attached to the file and each dataset,
+//   * an index footer so readers can open without scanning.
+// It is not the HDF5 wire format (substitution documented in DESIGN.md);
+// it is format-shaped the same way, and round-trips losslessly.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "daq/message.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmtp::daq {
+
+/// One archived record: the transport-level metadata plus payload bytes.
+struct archived_record {
+    std::uint64_t sequence{0};
+    std::uint64_t timestamp_ns{0};
+    std::uint32_t size_bytes{0}; // original message size (payload may be smaller)
+    std::vector<std::uint8_t> payload;
+
+    bool operator==(const archived_record&) const = default;
+};
+
+struct archive_limits {
+    /// Records per chunk before the chunk is sealed and checksummed.
+    std::uint32_t chunk_records{256};
+};
+
+/// Serializes datasets of archived_records into a single byte blob.
+class archive_writer {
+public:
+    explicit archive_writer(archive_limits limits = {});
+
+    /// File-level attribute (e.g. "facility" -> "dune-far-site").
+    void set_attribute(const std::string& key, const std::string& value);
+
+    /// Appends a record to the dataset of `experiment` (created lazily).
+    void append(wire::experiment_id experiment, archived_record r);
+
+    /// Dataset-level attribute.
+    void set_dataset_attribute(wire::experiment_id experiment, const std::string& key,
+                               const std::string& value);
+
+    /// Seals all chunks, writes the index footer, returns the blob.
+    /// The writer is spent afterwards.
+    std::vector<std::uint8_t> finalize();
+
+    std::uint64_t records_written() const { return records_; }
+
+private:
+    struct dataset {
+        std::vector<std::uint8_t> sealed_chunks; // serialized, checksummed
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> chunk_spans; // offset,len
+        std::vector<std::uint32_t> chunk_counts;
+        std::vector<archived_record> open_chunk;
+        std::map<std::string, std::string> attributes;
+        std::uint64_t record_count{0};
+    };
+
+    void seal_chunk(dataset& ds);
+
+    archive_limits limits_;
+    std::map<wire::experiment_id, dataset> datasets_;
+    std::map<std::string, std::string> attributes_;
+    std::uint64_t records_{0};
+};
+
+/// Parses a blob produced by archive_writer; validates magic, version and
+/// every chunk checksum up front.
+class archive_reader {
+public:
+    /// Returns std::nullopt on malformed input or checksum mismatch.
+    static std::optional<archive_reader> open(std::vector<std::uint8_t> blob);
+
+    std::vector<wire::experiment_id> dataset_ids() const;
+    std::uint64_t record_count(wire::experiment_id experiment) const;
+
+    /// All records of a dataset, in append order.
+    std::vector<archived_record> read_all(wire::experiment_id experiment) const;
+
+    /// Random access by dataset-relative index (chunk-granular seek).
+    std::optional<archived_record> read_at(wire::experiment_id experiment,
+                                           std::uint64_t index) const;
+
+    std::optional<std::string> attribute(const std::string& key) const;
+    std::optional<std::string> dataset_attribute(wire::experiment_id experiment,
+                                                 const std::string& key) const;
+
+private:
+    archive_reader() = default;
+
+    struct chunk_ref {
+        std::uint64_t offset;
+        std::uint64_t length;
+        std::uint32_t records;
+    };
+    struct dataset_view {
+        std::vector<chunk_ref> chunks;
+        std::map<std::string, std::string> attributes;
+        std::uint64_t record_count{0};
+    };
+
+    std::vector<archived_record> parse_chunk(const chunk_ref& c) const;
+
+    std::vector<std::uint8_t> blob_;
+    std::map<wire::experiment_id, dataset_view> datasets_;
+    std::map<std::string, std::string> attributes_;
+};
+
+constexpr std::uint64_t archive_magic = 0x4d4d545041524348ull; // "MMTPARCH"
+constexpr std::uint16_t archive_version = 1;
+
+} // namespace mmtp::daq

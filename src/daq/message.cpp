@@ -1,0 +1,73 @@
+#include "daq/message.hpp"
+
+namespace mmtp::daq {
+
+void daq_header::serialize(byte_writer& w) const
+{
+    w.u32(experiment);
+    w.u64(sequence);
+    w.u64(timestamp_ns);
+    w.u16(record_count);
+    w.u16(flags);
+}
+
+std::optional<daq_header> daq_header::parse(std::span<const std::uint8_t> data)
+{
+    byte_reader r(data);
+    daq_header h;
+    h.experiment = r.u32();
+    h.sequence = r.u64();
+    h.timestamp_ns = r.u64();
+    h.record_count = r.u16();
+    h.flags = r.u16();
+    if (r.failed()) return std::nullopt;
+    return h;
+}
+
+steady_source::steady_source(wire::experiment_id experiment, std::uint32_t size_bytes,
+                             sim_duration interval, sim_time start,
+                             std::uint64_t count_limit)
+    : experiment_(experiment),
+      size_bytes_(size_bytes),
+      interval_(interval),
+      at_(start),
+      limit_(count_limit)
+{
+}
+
+std::optional<timed_message> steady_source::next()
+{
+    if (limit_ != 0 && emitted_ >= limit_) return std::nullopt;
+    timed_message tm;
+    tm.at = at_;
+    tm.msg.experiment = experiment_;
+    tm.msg.sequence = emitted_;
+    tm.msg.timestamp_ns = static_cast<std::uint64_t>(at_.ns);
+    tm.msg.size_bytes = size_bytes_;
+    emitted_++;
+    at_ = at_ + interval_;
+    return tm;
+}
+
+void composite_source::add(std::unique_ptr<message_source> src)
+{
+    slot s;
+    s.src = std::move(src);
+    s.head = s.src->next();
+    slots_.push_back(std::move(s));
+}
+
+std::optional<timed_message> composite_source::next()
+{
+    slot* best = nullptr;
+    for (auto& s : slots_) {
+        if (!s.head) continue;
+        if (!best || s.head->at < best->head->at) best = &s;
+    }
+    if (!best) return std::nullopt;
+    auto out = std::move(*best->head);
+    best->head = best->src->next();
+    return out;
+}
+
+} // namespace mmtp::daq

@@ -1,0 +1,99 @@
+// message.hpp — the DAQ message abstraction and message sources.
+//
+// DAQ traffic "consists of discrete, time-stamped messages with
+// well-defined boundaries" (§1, Req 7). A daq_message is one such unit:
+// the transports (udp/tcp/mmtp) consume messages from a message_source
+// and are agnostic to what detector produced them.
+//
+// Every message begins with the shared top-level DAQ header (Req 9 —
+// "DUNE's four detectors each have specific headers but they all share a
+// top-level DAQ header"); detector-specific content follows.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/units.hpp"
+#include "wire/ids.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace mmtp::daq {
+
+/// Shared top-level DAQ header, 24 bytes on the wire:
+///   u32 experiment_id   u64 sequence   u64 timestamp_ns   u16 record_count
+///   u16 flags
+struct daq_header {
+    wire::experiment_id experiment{0};
+    std::uint64_t sequence{0};
+    std::uint64_t timestamp_ns{0};
+    std::uint16_t record_count{0};
+    std::uint16_t flags{0};
+
+    static constexpr std::size_t wire_bytes = 24;
+
+    void serialize(byte_writer& w) const;
+    static std::optional<daq_header> parse(std::span<const std::uint8_t> data);
+
+    bool operator==(const daq_header&) const = default;
+};
+
+/// One transport-layer message produced by an instrument.
+struct daq_message {
+    wire::experiment_id experiment{0}; // includes the slice (Req 8)
+    std::uint64_t sequence{0};
+    std::uint64_t timestamp_ns{0}; // source clock at digitization
+    std::uint32_t size_bytes{0};   // total message size incl. daq_header
+    /// Real content bytes (alerts, tests); may be shorter than
+    /// size_bytes — the remainder is virtual bulk data.
+    std::vector<std::uint8_t> inline_payload;
+};
+
+struct timed_message {
+    sim_time at;
+    daq_message msg;
+};
+
+/// Pull-based generator: each call returns the next message and the time
+/// it leaves the instrument. Sources are deterministic given their rng.
+class message_source {
+public:
+    virtual ~message_source() = default;
+    virtual std::optional<timed_message> next() = 0;
+};
+
+/// Fixed-size messages at a fixed cadence — the "regular shape (size and
+/// arrival rate)" of DAQ elephant flows (§1).
+class steady_source final : public message_source {
+public:
+    steady_source(wire::experiment_id experiment, std::uint32_t size_bytes,
+                  sim_duration interval, sim_time start = sim_time::zero(),
+                  std::uint64_t count_limit = 0);
+
+    std::optional<timed_message> next() override;
+
+private:
+    wire::experiment_id experiment_;
+    std::uint32_t size_bytes_;
+    sim_duration interval_;
+    sim_time at_;
+    std::uint64_t limit_;
+    std::uint64_t emitted_{0};
+};
+
+/// Merges several sources into one time-ordered stream.
+class composite_source final : public message_source {
+public:
+    void add(std::unique_ptr<message_source> src);
+    std::optional<timed_message> next() override;
+
+private:
+    struct slot {
+        std::unique_ptr<message_source> src;
+        std::optional<timed_message> head;
+    };
+    std::vector<slot> slots_;
+};
+
+} // namespace mmtp::daq

@@ -1,0 +1,93 @@
+// trigger.hpp — trigger records and the ICEBERG/DUNE message streams.
+//
+// The DAQ stage "identif[ies] interesting data in the DAQ stream — such
+// as evidence of particle collisions — then a time window of such
+// readings is sent over the WAN" (§1). A trigger_record is that window:
+// a batch of WIB frames for one trigger decision.
+//
+// iceberg_stream reproduces the pilot's data source (1): the ICEBERG
+// DUNE-prototype LArTPC readout. supernova_source reproduces source (2):
+// synthetic DUNE data simulating neutrino generation by different
+// physical events, including a supernova burst whose onset multiplies
+// detector activity for tens of seconds (§3's DUNE → Vera Rubin scenario).
+#pragma once
+
+#include "common/rng.hpp"
+#include "daq/message.hpp"
+#include "daq/wib.hpp"
+
+#include <memory>
+
+namespace mmtp::daq {
+
+/// A trigger record: `frame_count` consecutive WIB frames for one slice.
+struct trigger_record {
+    std::uint64_t trigger_id{0};
+    std::uint64_t t0_ticks{0};
+    std::uint32_t frame_count{0};
+    std::uint8_t crate{0}, slot{0}, fiber{0};
+};
+
+/// Streams trigger records from a synthetic LArTPC as daq_messages.
+/// Message size = daq_header + frame_count * wib_frame_bytes; by default
+/// frames are virtual bulk (size-accurate, content-free). With
+/// `materialize_frames`, real WIB frames are synthesized into the inline
+/// payload (used by tests and the HDF5-style archival example).
+class iceberg_stream final : public message_source {
+public:
+    struct config {
+        std::uint32_t slice{0};
+        std::uint32_t frames_per_record{10};
+        /// Trigger cadence; the default yields ~10 Gbps with 10 frames.
+        sim_duration trigger_interval{sim_duration{4200}};
+        std::uint64_t record_limit{0}; // 0 = unbounded
+        bool materialize_frames{false};
+        lartpc_synth::config synth{};
+    };
+
+    iceberg_stream(rng r, config cfg);
+
+    std::optional<timed_message> next() override;
+
+    static std::uint32_t message_bytes(std::uint32_t frames_per_record)
+    {
+        return static_cast<std::uint32_t>(daq_header::wire_bytes
+                                          + frames_per_record * wib_frame_bytes);
+    }
+
+private:
+    config cfg_;
+    lartpc_synth synth_;
+    sim_time at_{sim_time::zero()};
+    std::uint64_t emitted_{0};
+};
+
+/// Low steady single-detector rate that jumps by `burst_multiplier` for
+/// `burst_duration` starting at `burst_onset` — the shape of a supernova
+/// neutrino burst sweeping through DUNE.
+class supernova_source final : public message_source {
+public:
+    struct config {
+        wire::experiment_id experiment{0};
+        std::uint32_t message_bytes{5632};
+        sim_duration quiet_interval{sim_duration{1000000}}; // 1 ms
+        sim_time burst_onset{sim_time::never()};
+        sim_duration burst_duration{sim_duration{10000000000}}; // 10 s
+        std::uint32_t burst_multiplier{100};
+        std::uint64_t message_limit{0};
+    };
+
+    explicit supernova_source(config cfg) : cfg_(cfg) {}
+
+    std::optional<timed_message> next() override;
+
+    /// True while `t` falls inside the configured burst window.
+    bool in_burst(sim_time t) const;
+
+private:
+    config cfg_;
+    sim_time at_{sim_time::zero()};
+    std::uint64_t emitted_{0};
+};
+
+} // namespace mmtp::daq

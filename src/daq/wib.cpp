@@ -1,0 +1,64 @@
+#include "daq/wib.hpp"
+
+#include "common/bytes.hpp"
+#include "common/crc32c.hpp"
+
+namespace mmtp::daq {
+
+std::vector<std::uint8_t> wib_frame::serialize() const
+{
+    byte_writer w(wib_frame_bytes);
+    w.u8(version);
+    w.u8(crate);
+    w.u8(slot);
+    w.u8(fiber);
+    w.u32(0); // reserved
+    w.u64(timestamp);
+    for (const auto sample : adc) w.u16(sample & 0x0fff);
+    const auto crc = crc32c(w.view());
+    w.u32(crc);
+    return w.take();
+}
+
+std::optional<wib_frame> wib_frame::parse(std::span<const std::uint8_t> data)
+{
+    if (data.size() != wib_frame_bytes) return std::nullopt;
+    const auto body = data.first(wib_frame_bytes - 4);
+    byte_reader r(data);
+    wib_frame f;
+    f.version = r.u8();
+    f.crate = r.u8();
+    f.slot = r.u8();
+    f.fiber = r.u8();
+    r.skip(4);
+    f.timestamp = r.u64();
+    for (auto& sample : f.adc) sample = r.u16();
+    const auto crc = r.u32();
+    if (r.failed()) return std::nullopt;
+    if (crc != crc32c(body)) return std::nullopt;
+    return f;
+}
+
+lartpc_synth::lartpc_synth(rng r, config cfg) : rng_(r), cfg_(cfg) {}
+
+lartpc_synth::lartpc_synth(rng r) : lartpc_synth(r, config{}) {}
+
+void lartpc_synth::fill(wib_frame& frame)
+{
+    for (std::size_t ch = 0; ch < wib_channels; ++ch) {
+        // New ionization pulse?
+        if (rng_.chance(cfg_.activity)) {
+            pulse_level_[ch] +=
+                rng_.exponential(cfg_.pulse_amplitude_mean);
+        }
+        const double noise = rng_.normal(0.0, cfg_.noise_sigma);
+        double v = cfg_.pedestal + pulse_level_[ch] + noise;
+        if (v < 0) v = 0;
+        if (v > 4095) v = 4095;
+        frame.adc[ch] = static_cast<std::uint16_t>(v);
+        pulse_level_[ch] *= (1.0 - cfg_.pulse_decay);
+        if (pulse_level_[ch] < 0.01) pulse_level_[ch] = 0.0;
+    }
+}
+
+} // namespace mmtp::daq

@@ -1,0 +1,78 @@
+#include "dtn/buffer.hpp"
+
+namespace mmtp::dtn {
+
+void retransmission_buffer::store(buffered_datagram d, sim_time now)
+{
+    const key k{d.experiment, d.epoch, d.sequence};
+    auto it = by_key_.find(k);
+    if (it != by_key_.end()) {
+        bytes_ -= it->second.size_bytes;
+        by_key_.erase(it);
+        // stale fifo entry is skipped lazily during eviction
+    }
+    d.stored_at = now;
+    bytes_ += d.size_bytes;
+    stats_.stored++;
+    if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
+    by_key_[k] = std::move(d);
+    fifo_.push_back(k);
+    evict(now);
+}
+
+void retransmission_buffer::evict(sim_time now)
+{
+    // Retention-based eviction from the front (oldest first).
+    while (!fifo_.empty()) {
+        const auto& k = fifo_.front();
+        auto it = by_key_.find(k);
+        if (it == by_key_.end()) {
+            fifo_.pop_front();
+            continue; // stale
+        }
+        const bool too_old = (now - it->second.stored_at).ns > cfg_.retention.ns;
+        const bool over_capacity = bytes_ > cfg_.capacity_bytes;
+        if (!too_old && !over_capacity) break;
+        bytes_ -= it->second.size_bytes;
+        if (too_old)
+            stats_.evicted_retention++;
+        else
+            stats_.evicted_capacity++;
+        by_key_.erase(it);
+        fifo_.pop_front();
+    }
+}
+
+std::optional<buffered_datagram> retransmission_buffer::fetch(wire::experiment_id experiment,
+                                                              std::uint16_t epoch,
+                                                              std::uint64_t sequence,
+                                                              sim_time now)
+{
+    evict(now);
+    auto it = by_key_.find(key{experiment, epoch, sequence});
+    if (it == by_key_.end()) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    stats_.hits++;
+    return it->second;
+}
+
+std::vector<buffered_datagram> retransmission_buffer::fetch_range(
+    wire::experiment_id experiment, std::uint16_t epoch, std::uint64_t first,
+    std::uint64_t last, sim_time now)
+{
+    evict(now);
+    std::vector<buffered_datagram> out;
+    auto it = by_key_.lower_bound(key{experiment, epoch, first});
+    for (; it != by_key_.end(); ++it) {
+        if (it->first.experiment != experiment || it->first.epoch != epoch) break;
+        if (it->first.sequence > last) break;
+        stats_.hits++;
+        out.push_back(it->second);
+    }
+    if (out.empty()) stats_.misses++;
+    return out;
+}
+
+} // namespace mmtp::dtn

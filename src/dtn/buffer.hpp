@@ -1,0 +1,87 @@
+// buffer.hpp — DTN retransmission buffer store.
+//
+// The pilot's DTN 1 "represents the processing and buffering stage in the
+// DAQ network" (Fig. 4): it holds recently forwarded datagrams so that
+// downstream receivers can recover loss from a *nearby* buffer instead of
+// the source (§5.3's generalization of X.25 hop-by-hop behaviour, "closer
+// to short-term publish-subscribe"). Entries age out by retention time
+// and total capacity, newest kept.
+#pragma once
+
+#include "common/units.hpp"
+#include "wire/ids.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace mmtp::dtn {
+
+struct buffered_datagram {
+    std::uint64_t sequence{0};
+    std::uint16_t epoch{0};
+    wire::experiment_id experiment{0};
+    std::uint64_t timestamp_ns{0};
+    std::uint32_t size_bytes{0};
+    std::vector<std::uint8_t> inline_payload;
+    sim_time stored_at{sim_time::zero()};
+};
+
+struct buffer_config {
+    std::uint64_t capacity_bytes{512ull * 1024 * 1024};
+    sim_duration retention{sim_duration{5000000000}}; // 5 s
+};
+
+struct buffer_stats {
+    std::uint64_t stored{0};
+    std::uint64_t evicted_capacity{0};
+    std::uint64_t evicted_retention{0};
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t peak_bytes{0};
+};
+
+/// Keyed by (experiment, epoch, sequence); per-experiment streams.
+class retransmission_buffer {
+public:
+    explicit retransmission_buffer(buffer_config cfg = {}) : cfg_(cfg) {}
+
+    /// Stores a datagram (replacing any same-key entry), then evicts by
+    /// retention and capacity.
+    void store(buffered_datagram d, sim_time now);
+
+    /// Looks up one datagram; counts hit/miss.
+    std::optional<buffered_datagram> fetch(wire::experiment_id experiment,
+                                           std::uint16_t epoch, std::uint64_t sequence,
+                                           sim_time now);
+
+    /// All stored datagrams in [first, last] for (experiment, epoch).
+    std::vector<buffered_datagram> fetch_range(wire::experiment_id experiment,
+                                               std::uint16_t epoch, std::uint64_t first,
+                                               std::uint64_t last, sim_time now);
+
+    std::uint64_t bytes_used() const { return bytes_; }
+    std::size_t entries() const { return by_key_.size(); }
+    const buffer_stats& stats() const { return stats_; }
+    const buffer_config& config() const { return cfg_; }
+
+private:
+    struct key {
+        wire::experiment_id experiment;
+        std::uint16_t epoch;
+        std::uint64_t sequence;
+        auto operator<=>(const key&) const = default;
+    };
+
+    void evict(sim_time now);
+
+    buffer_config cfg_;
+    std::map<key, buffered_datagram> by_key_;
+    std::deque<key> fifo_; // insertion order for eviction
+    std::uint64_t bytes_{0};
+    buffer_stats stats_;
+};
+
+} // namespace mmtp::dtn

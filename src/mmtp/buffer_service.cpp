@@ -1,0 +1,149 @@
+#include "mmtp/buffer_service.hpp"
+
+#include "netsim/engine.hpp"
+
+namespace mmtp::core {
+
+buffer_service::buffer_service(stack& st, buffer_service_config cfg)
+    : stack_(st), cfg_(cfg), buffer_(cfg.buffer)
+{
+    stack_.set_nak_handler([this](const wire::nak_body& nak, wire::experiment_id exp,
+                                  wire::ipv4_addr src) { handle_nak(nak, exp, src); });
+}
+
+void buffer_service::attach_as_sink()
+{
+    stack_.set_data_sink([this](delivered_datagram&& d) { relay(d); });
+}
+
+std::uint64_t buffer_service::next_sequence(wire::experiment_id experiment)
+{
+    // keyed by the FULL experiment id: each instrument slice is an
+    // independent stream with its own sequence space (Req 8)
+    return seq_counters_[experiment]++;
+}
+
+void buffer_service::relay(const delivered_datagram& d)
+{
+    const auto now = stack_.sim().now();
+    // Datagrams that already carry a sequence number keep it (tap
+    // buffers fed by duplication must agree with the on-path numbering);
+    // otherwise mirror the on-path element's counter.
+    const auto seq =
+        d.hdr.sequencing ? d.hdr.sequencing->sequence : next_sequence(d.hdr.experiment);
+
+    dtn::buffered_datagram entry;
+    entry.sequence = seq;
+    entry.epoch = d.hdr.sequencing ? d.hdr.sequencing->epoch : 0;
+    entry.experiment = d.hdr.experiment;
+    entry.timestamp_ns = d.hdr.timestamp_ns.value_or(static_cast<std::uint64_t>(now.ns));
+    entry.size_bytes = static_cast<std::uint32_t>(d.total_payload_bytes);
+    entry.inline_payload = d.payload;
+    buffer_.store(std::move(entry), now);
+
+    if (cfg_.tap_only) {
+        stats_.relayed++;
+        stats_.relayed_bytes += d.total_payload_bytes;
+        return;
+    }
+
+    wire::header h;
+    h.m = d.hdr.m;
+    h.experiment = d.hdr.experiment;
+    h.timestamp_ns = d.hdr.timestamp_ns;
+    if (h.timestamp_ns) h.m.set(wire::feature::timestamped);
+    h.sequencing = d.hdr.sequencing;
+    h.retransmission = d.hdr.retransmission;
+    h.timeliness = d.hdr.timeliness;
+    h.pacing = d.hdr.pacing;
+
+    if (cfg_.assign_sequence_locally) {
+        h.m.set(wire::feature::sequencing);
+        h.sequencing = wire::sequencing_field{seq, 0};
+        h.m.set(wire::feature::retransmission);
+        h.retransmission = wire::retransmission_field{
+            cfg_.buffer_addr_override != 0 ? cfg_.buffer_addr_override
+                                           : stack_.host().address()};
+        if (cfg_.deadline_us > 0) {
+            h.m.set(wire::feature::timeliness);
+            wire::timeliness_field t;
+            t.deadline_us = cfg_.deadline_us;
+            t.notify_addr = cfg_.notify_addr;
+            h.timeliness = t;
+        }
+    }
+
+    stats_.relayed++;
+    stats_.relayed_bytes += d.total_payload_bytes;
+    const std::uint64_t extra_virtual = d.total_payload_bytes - d.payload.size();
+    stack_.send_datagram(cfg_.next_hop, h, d.payload, extra_virtual);
+}
+
+void buffer_service::handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,
+                                wire::ipv4_addr /*src*/)
+{
+    stats_.nak_requests++;
+    const auto now = stack_.sim().now();
+
+    for (const auto& range : nak.ranges) {
+        auto entries =
+            buffer_.fetch_range(experiment, nak.epoch, range.first, range.last, now);
+        stats_.unavailable += (range.last - range.first + 1) - entries.size();
+
+        for (auto& entry : entries) {
+            wire::header h;
+            h.experiment = entry.experiment;
+            h.m.set(wire::feature::sequencing);
+            h.sequencing = wire::sequencing_field{entry.sequence, entry.epoch};
+            h.m.set(wire::feature::retransmission);
+            h.retransmission = wire::retransmission_field{stack_.host().address()};
+            h.m.set(wire::feature::timestamped);
+            h.timestamp_ns = entry.timestamp_ns;
+            if (cfg_.deadline_us > 0) {
+                h.m.set(wire::feature::timeliness);
+                wire::timeliness_field t;
+                t.deadline_us = cfg_.deadline_us;
+                t.notify_addr = cfg_.notify_addr;
+                h.timeliness = t;
+            }
+            const std::uint64_t extra_virtual =
+                entry.size_bytes > entry.inline_payload.size()
+                    ? entry.size_bytes - entry.inline_payload.size()
+                    : 0;
+            stack_.send_datagram(nak.requester, h, entry.inline_payload, extra_virtual);
+            stats_.retransmitted++;
+        }
+    }
+}
+
+void buffer_service::flush(unsigned copies)
+{
+    for (const auto& [experiment, next_seq] : seq_counters_) {
+        wire::stream_flush_body body;
+        body.experiment = experiment;
+        body.epoch = 0;
+        body.next_sequence = next_seq;
+        byte_writer w;
+        serialize(body, w);
+        for (unsigned i = 0; i < copies; ++i) {
+            stack_.send_control(cfg_.next_hop, experiment,
+                                wire::control_type::stream_flush, w.view().size()
+                                    ? std::vector<std::uint8_t>(w.view().begin(),
+                                                                w.view().end())
+                                    : std::vector<std::uint8_t>{});
+        }
+    }
+}
+
+void buffer_service::advertise(wire::ipv4_addr collector)
+{
+    wire::buffer_advert_body body;
+    body.buffer_addr = stack_.host().address();
+    body.capacity_bytes = buffer_.config().capacity_bytes;
+    body.retention_ms = static_cast<std::uint32_t>(buffer_.config().retention.millis());
+    byte_writer w;
+    serialize(body, w);
+    stack_.send_control(collector, 0, wire::control_type::buffer_advert, w.take());
+}
+
+} // namespace mmtp::core

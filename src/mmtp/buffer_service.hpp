@@ -1,0 +1,86 @@
+// buffer_service.hpp — the DTN-side buffering/relay/NAK-responder.
+//
+// This is DTN 1 of the pilot (Fig. 4): it receives mode-0 datagrams from
+// the DAQ network, stores a copy in its retransmission buffer, and relays
+// the stream toward the next stage across the WAN. When a downstream
+// receiver NAKs, the service re-sends the requested sequences — loss is
+// recovered from *here* (short RTT) instead of from the source (§5.1).
+//
+// Sequence numbers: in the pilot they are assigned by the programmable
+// element just downstream of DTN 1 (§5.4). The buffer predicts them with
+// a mirrored per-experiment counter, which is exact as long as the
+// DTN→element segment is lossless and order-preserving (true of DAQ
+// networks, §2). Deployments without such an element can instead let the
+// DTN assign sequence numbers itself (`assign_sequence_locally`), which
+// is also what the A1/A2 ablations use.
+#pragma once
+
+#include "dtn/buffer.hpp"
+#include "mmtp/stack.hpp"
+
+#include <unordered_map>
+
+namespace mmtp::core {
+
+struct buffer_service_config {
+    wire::ipv4_addr next_hop{0};
+    dtn::buffer_config buffer{};
+    /// When true, relayed datagrams leave already carrying sequencing +
+    /// retransmission (+ timeliness if deadline_us > 0) headers; when
+    /// false they leave in their arrival mode and the on-path element
+    /// performs the upgrade (the pilot's configuration).
+    bool assign_sequence_locally{false};
+    std::uint32_t deadline_us{0};
+    wire::ipv4_addr notify_addr{0};
+    /// Tap mode: store (under the datagram's carried sequence number)
+    /// and answer NAKs, but do not forward — for buffers fed by
+    /// in-network stream duplication rather than sitting on the data
+    /// path ("another retransmission buffer becomes available", §5.1).
+    bool tap_only{false};
+    /// Advertise this address in the retransmission field instead of the
+    /// local host address (when a different buffer should serve NAKs).
+    wire::ipv4_addr buffer_addr_override{0};
+};
+
+struct buffer_service_stats {
+    std::uint64_t relayed{0};
+    std::uint64_t relayed_bytes{0};
+    std::uint64_t nak_requests{0};
+    std::uint64_t retransmitted{0};
+    std::uint64_t unavailable{0}; // NAKed sequences no longer buffered
+};
+
+class buffer_service {
+public:
+    buffer_service(stack& st, buffer_service_config cfg);
+
+    /// Installs this service as the host's data sink (relay everything).
+    void attach_as_sink();
+
+    /// Buffers and forwards one datagram toward next_hop.
+    void relay(const delivered_datagram& d);
+
+    const buffer_service_stats& stats() const { return stats_; }
+    const dtn::retransmission_buffer& buffer() const { return buffer_; }
+
+    /// Announce this buffer to a control-plane collector.
+    void advertise(wire::ipv4_addr collector);
+
+    /// Sends end-of-window markers for every stream this service has
+    /// sequenced, so receivers can detect and recover *tail* losses
+    /// (sent `copies` times: the markers cross the same lossy segment).
+    void flush(unsigned copies = 3);
+
+private:
+    void handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,
+                    wire::ipv4_addr src);
+    std::uint64_t next_sequence(wire::experiment_id experiment);
+
+    stack& stack_;
+    buffer_service_config cfg_;
+    dtn::retransmission_buffer buffer_;
+    buffer_service_stats stats_;
+    std::unordered_map<std::uint32_t, std::uint64_t> seq_counters_;
+};
+
+} // namespace mmtp::core

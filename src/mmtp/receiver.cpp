@@ -1,0 +1,170 @@
+#include "mmtp/receiver.hpp"
+
+#include "netsim/engine.hpp"
+
+namespace mmtp::core {
+
+receiver::receiver(stack& st, receiver_config cfg) : stack_(st), cfg_(cfg)
+{
+    stack_.set_data_sink([this](delivered_datagram&& d) { on_data(std::move(d)); });
+    stack_.set_flush_handler(
+        [this](const wire::stream_flush_body& f) { on_flush(f); });
+}
+
+void receiver::on_flush(const wire::stream_flush_body& f)
+{
+    // End-of-window marker: sequences up to f.next_sequence exist, so any
+    // of them we have not seen are losses — including tail losses no
+    // later data arrival would ever reveal.
+    const stream_key k{f.experiment, f.epoch};
+    auto& st = streams_[k];
+    if (f.next_sequence > st.highest) st.highest = f.next_sequence;
+    st.base = st.received.next_missing(st.base);
+    if (st.base < st.highest && !st.check_scheduled)
+        schedule_check(k, cfg_.reorder_grace);
+}
+
+std::uint64_t receiver::outstanding_gaps() const
+{
+    std::uint64_t total = 0;
+    for (const auto& [k, s] : streams_) {
+        for (const auto& [start, end] : s.received.gaps(s.base, s.highest)) {
+            (void)start;
+            total += end - start;
+        }
+    }
+    return total;
+}
+
+void receiver::on_data(delivered_datagram&& d)
+{
+    const auto now = stack_.sim().now();
+    auto& h = d.hdr;
+
+    // Destination timeliness check (pilot mode 3).
+    if (h.timeliness) {
+        std::uint32_t age_us = h.timeliness->age_us;
+        if (h.timestamp_ns) {
+            const auto age_ns = now.ns - static_cast<std::int64_t>(*h.timestamp_ns);
+            age_us = age_ns > 0 ? static_cast<std::uint32_t>(age_ns / 1000) : 0;
+        }
+        stats_.age_us.record(age_us);
+        if (cfg_.check_deadline && h.timeliness->deadline_us > 0
+            && (h.timeliness->aged() || age_us > h.timeliness->deadline_us)) {
+            stats_.aged_on_arrival++;
+        }
+    } else if (h.timestamp_ns) {
+        const auto age_ns = now.ns - static_cast<std::int64_t>(*h.timestamp_ns);
+        stats_.age_us.record(age_ns > 0 ? static_cast<std::uint64_t>(age_ns / 1000) : 0);
+    }
+
+    if (h.sequencing) {
+        const stream_key k{h.experiment, h.sequencing->epoch};
+        auto& st = streams_[k];
+        const auto s = h.sequencing->sequence;
+        if (h.retransmission) st.buffer_addr = h.retransmission->buffer_addr;
+
+        if (s < st.base || st.received.contains(s)) {
+            stats_.duplicates++;
+            return; // do not deliver twice
+        }
+
+        // Did this arrival fill a tracked gap? (=> it was a recovery)
+        if (s < st.highest) {
+            auto git = st.gaps.upper_bound(s);
+            if (git != st.gaps.begin()) {
+                --git;
+                stats_.recovered++;
+                const auto lat = now - git->second.first_detected;
+                stats_.recovery_latency_us.record(
+                    lat.ns > 0 ? static_cast<std::uint64_t>(lat.ns / 1000) : 0);
+            }
+        }
+
+        st.received.insert(s, s + 1);
+        if (s + 1 > st.highest) st.highest = s + 1;
+        st.base = st.received.next_missing(st.base);
+        // Drop gap records that are now fully resolved.
+        for (auto it = st.gaps.begin(); it != st.gaps.end();) {
+            if (it->first < st.base || st.received.covers(it->first, it->first + 1))
+                it = st.gaps.erase(it);
+            else
+                ++it;
+        }
+
+        if (st.base < st.highest && !st.check_scheduled) {
+            schedule_check(k, cfg_.reorder_grace);
+        }
+    }
+
+    stats_.datagrams++;
+    stats_.bytes += d.total_payload_bytes;
+    if (on_datagram_) on_datagram_(d);
+}
+
+void receiver::schedule_check(const stream_key& k, sim_duration delay)
+{
+    auto& st = streams_[k];
+    st.check_scheduled = true;
+    stack_.sim().schedule_in(delay, [this, k] { run_check(k); });
+}
+
+void receiver::run_check(const stream_key& k)
+{
+    auto it = streams_.find(k);
+    if (it == streams_.end()) return;
+    auto& st = it->second;
+    st.check_scheduled = false;
+
+    const auto now = stack_.sim().now();
+    auto gaps = st.received.gaps(st.base, st.highest);
+    if (gaps.empty()) {
+        st.gaps.clear();
+        return;
+    }
+
+    wire::nak_body nak;
+    nak.epoch = k.epoch;
+    nak.requester = stack_.host().address();
+
+    auto flush_nak = [&] {
+        if (nak.ranges.empty() || st.buffer_addr == 0) return;
+        byte_writer w;
+        serialize(nak, w);
+        stack_.send_control(st.buffer_addr, k.experiment, wire::control_type::nak,
+                            w.take());
+        stats_.naks_sent++;
+        stats_.nak_ranges_sent += nak.ranges.size();
+        nak.ranges.clear();
+    };
+
+    for (const auto& [a, b] : gaps) {
+        auto& g = st.gaps[a];
+        if (g.first_detected == sim_time::zero()) g.first_detected = now;
+
+        if (g.attempts >= cfg_.max_nak_attempts) {
+            // Unrecoverable: resolve the gap so delivery accounting moves
+            // on, and report each abandoned sequence.
+            stats_.given_up += b - a;
+            if (on_loss_)
+                for (std::uint64_t s = a; s < b; ++s) on_loss_(k.experiment, k.epoch, s);
+            st.received.insert(a, b);
+            continue;
+        }
+        const bool due = g.last_nak == sim_time::zero()
+            || (now - g.last_nak).ns >= cfg_.nak_retry.ns;
+        if (!due) continue;
+        nak.ranges.push_back({a, b - 1});
+        g.last_nak = now;
+        g.attempts++;
+        // A NAK carries at most max_nak_ranges ranges; emit as many NAK
+        // messages as the round needs (they are tiny).
+        if (nak.ranges.size() == wire::max_nak_ranges) flush_nak();
+    }
+    st.base = st.received.next_missing(st.base);
+    flush_nak();
+
+    if (st.base < st.highest) schedule_check(k, cfg_.nak_retry);
+}
+
+} // namespace mmtp::core

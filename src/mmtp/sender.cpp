@@ -1,0 +1,143 @@
+#include "mmtp/sender.hpp"
+
+#include "netsim/engine.hpp"
+
+namespace mmtp::core {
+
+sender::sender(stack& st, wire::ipv4_addr dst, sender_config cfg)
+    : stack_(st), dst_(dst), cfg_(cfg)
+{
+    if (cfg_.honor_backpressure)
+        stack_.add_backpressure_handler(
+            [this](const wire::backpressure_body& b) { on_backpressure(b); });
+}
+
+sender::sender(stack& st, l2_egress egress, sender_config cfg)
+    : stack_(st), l2_port_(egress.port), cfg_(cfg)
+{
+    if (cfg_.honor_backpressure)
+        stack_.add_backpressure_handler(
+            [this](const wire::backpressure_body& b) { on_backpressure(b); });
+}
+
+data_rate sender::effective_pace() const
+{
+    if (cfg_.pace.bits_per_sec == 0) return cfg_.pace;
+    if (stack_.sim().now() >= bp_until_ || bp_level_ == 0) return cfg_.pace;
+    const double span = 1.0 - cfg_.min_pace_fraction;
+    const double factor = 1.0 - span * (static_cast<double>(bp_level_) / 255.0);
+    return data_rate{static_cast<std::uint64_t>(
+        static_cast<double>(cfg_.pace.bits_per_sec) * factor)};
+}
+
+void sender::on_backpressure(const wire::backpressure_body& b)
+{
+    stats_.backpressure_signals++;
+    bp_level_ = b.level; // latest signal wins
+    bp_until_ = stack_.sim().now() + cfg_.backpressure_hold;
+}
+
+void sender::send_message(const daq::daq_message& msg)
+{
+    stats_.messages++;
+
+    std::uint64_t remaining = msg.size_bytes;
+    std::span<const std::uint8_t> inline_left(msg.inline_payload);
+    bool first = true;
+    while (remaining > 0 || first) {
+        first = false;
+        const std::uint64_t chunk =
+            remaining < cfg_.max_datagram_payload ? remaining : cfg_.max_datagram_payload;
+
+        wire::header h;
+        h.m = cfg_.origin_mode;
+        h.experiment = msg.experiment;
+        if (cfg_.timestamp) {
+            h.m.set(wire::feature::timestamped);
+            h.timestamp_ns = msg.timestamp_ns;
+        }
+        // The origin mode may activate features whose values the network
+        // fills in (e.g. timeliness: the boundary element sets the
+        // deadline); emit default-valued fields so the header is
+        // well-formed on the wire.
+        wire::materialize_missing_fields(h);
+
+        // Real bytes first, virtual bulk for the rest.
+        std::vector<std::uint8_t> payload;
+        std::uint64_t extra_virtual = 0;
+        const std::uint64_t take_inline =
+            inline_left.size() < chunk ? inline_left.size() : chunk;
+        payload.assign(inline_left.begin(), inline_left.begin() + take_inline);
+        inline_left = inline_left.subspan(take_inline);
+        extra_virtual = chunk - take_inline;
+
+        enqueue_datagram(std::move(h), std::move(payload), extra_virtual);
+        remaining -= chunk;
+    }
+}
+
+std::uint64_t sender::drive(daq::message_source& src, std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (limit == 0 || n < limit) {
+        auto tm = src.next();
+        if (!tm) break;
+        n++;
+        stack_.sim().schedule_at(tm->at, [this, msg = std::move(tm->msg)] {
+            send_message(msg);
+        });
+    }
+    return n;
+}
+
+void sender::enqueue_datagram(wire::header h, std::vector<std::uint8_t> payload,
+                              std::uint64_t extra_virtual)
+{
+    if (cfg_.pace.bits_per_sec == 0) {
+        transmit(std::move(h), std::move(payload), extra_virtual);
+        return;
+    }
+    queue_.push_back(pending{std::move(h), std::move(payload), extra_virtual});
+    if (queue_.size() > stats_.queued_peak) stats_.queued_peak = queue_.size();
+    pump();
+}
+
+void sender::pump()
+{
+    auto& eng = stack_.sim();
+    while (!queue_.empty()) {
+        const auto now = eng.now();
+        if (pace_ready_ > now) {
+            if (!pump_scheduled_) {
+                pump_scheduled_ = true;
+                eng.schedule_at(pace_ready_, [this] {
+                    pump_scheduled_ = false;
+                    pump();
+                });
+            }
+            return;
+        }
+        auto item = std::move(queue_.front());
+        queue_.pop_front();
+        const std::uint64_t size = item.h.wire_size() + item.payload.size()
+            + item.extra_virtual;
+        const auto pace = effective_pace();
+        pace_ready_ = (pace_ready_ > now ? pace_ready_ : now)
+            + pace.transmission_time(size);
+        transmit(std::move(item.h), std::move(item.payload), item.extra_virtual);
+    }
+}
+
+void sender::transmit(wire::header h, std::vector<std::uint8_t> payload,
+                      std::uint64_t extra_virtual)
+{
+    stats_.datagrams++;
+    stats_.bytes += payload.size() + extra_virtual;
+    if (dst_) {
+        stack_.send_datagram(*dst_, h, std::move(payload), extra_virtual);
+    } else {
+        stack_.send_datagram_l2(l2_port_, h, std::move(payload), extra_virtual);
+    }
+}
+
+} // namespace mmtp::core

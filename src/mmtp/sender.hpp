@@ -1,0 +1,96 @@
+// sender.hpp — MMTP sending endpoint.
+//
+// A sender turns daq_messages into MMTP datagrams in its configured
+// origin mode (mode 0 at a sensor; a richer mode when the host itself is
+// a DTN). It provides pacing (a leaky bucket at the configured rate) and
+// reacts to in-network backpressure signals by temporarily scaling the
+// pace down (Fig. 3 ⑤→①) — the protocol's lightweight alternative to
+// full congestion control on capacity-planned paths (§5.3).
+#pragma once
+
+#include "daq/message.hpp"
+#include "mmtp/stack.hpp"
+
+#include <deque>
+#include <optional>
+
+namespace mmtp::core {
+
+struct sender_config {
+    /// Origin mode; feature bits present here are emitted from source.
+    wire::mode origin_mode{};
+    /// Attach a source timestamp to every datagram (on by default —
+    /// DAQ measurements are time-stamped, Req 7; age tracking needs it).
+    bool timestamp{true};
+    /// Split messages larger than this into multiple datagrams, each
+    /// carrying the message's timestamp (fits jumbo frames).
+    std::uint32_t max_datagram_payload{8192};
+    /// Pacing rate; 0 = unpaced (sensor links are dedicated).
+    data_rate pace{0};
+    /// React to backpressure control messages by scaling pace.
+    bool honor_backpressure{true};
+    /// Fraction of pace retained at maximum backpressure (level 255).
+    double min_pace_fraction{0.1};
+    /// How long a backpressure signal keeps suppressing the pace.
+    sim_duration backpressure_hold{sim_duration{10000000}}; // 10 ms
+};
+
+struct sender_stats {
+    std::uint64_t messages{0};
+    std::uint64_t datagrams{0};
+    std::uint64_t bytes{0};
+    std::uint64_t backpressure_signals{0};
+    std::uint64_t queued_peak{0};
+};
+
+class sender {
+public:
+    /// Tag selecting L2 operation (sensors without an IP stack, Req 1):
+    /// datagrams go out of the host port it names.
+    struct l2_egress {
+        unsigned port;
+    };
+
+    /// IPv4 operation: datagrams go to `dst` (the next processing stage).
+    sender(stack& st, wire::ipv4_addr dst, sender_config cfg);
+    /// L2 operation: datagrams leave via `egress.port` as raw frames.
+    sender(stack& st, l2_egress egress, sender_config cfg);
+
+    /// Enqueues a message for transmission (immediately if unpaced).
+    void send_message(const daq::daq_message& msg);
+
+    /// Drives a message_source: schedules every message at its emission
+    /// time on the simulation engine. Returns messages scheduled.
+    std::uint64_t drive(daq::message_source& src, std::uint64_t limit = 0);
+
+    const sender_stats& stats() const { return stats_; }
+    /// Current effective pace after backpressure scaling.
+    data_rate effective_pace() const;
+
+private:
+    void on_backpressure(const wire::backpressure_body& b);
+    void enqueue_datagram(wire::header h, std::vector<std::uint8_t> payload,
+                          std::uint64_t extra_virtual);
+    void pump();
+    void transmit(wire::header h, std::vector<std::uint8_t> payload,
+                  std::uint64_t extra_virtual);
+
+    stack& stack_;
+    std::optional<wire::ipv4_addr> dst_;
+    unsigned l2_port_{netsim::no_port};
+    sender_config cfg_;
+    sender_stats stats_;
+
+    struct pending {
+        wire::header h;
+        std::vector<std::uint8_t> payload;
+        std::uint64_t extra_virtual;
+    };
+    std::deque<pending> queue_;
+    sim_time pace_ready_{sim_time::zero()};
+    bool pump_scheduled_{false};
+    std::uint8_t bp_level_{0};
+    sim_time bp_until_{sim_time::zero()};
+};
+
+} // namespace mmtp::core

@@ -1,0 +1,62 @@
+// engine.hpp — deterministic discrete-event simulation engine.
+//
+// Single-threaded: events execute in (time, insertion-order) order, so
+// two events scheduled for the same instant run in the order they were
+// scheduled. All model components hold a reference to the engine and
+// schedule closures on it.
+#pragma once
+
+#include "common/units.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mmtp::netsim {
+
+class engine {
+public:
+    using action = std::function<void()>;
+
+    /// Current simulated time.
+    sim_time now() const { return now_; }
+
+    /// Schedules `fn` at absolute time `at` (must be >= now()).
+    void schedule_at(sim_time at, action fn);
+
+    /// Schedules `fn` after `delay` (clamped to >= 0).
+    void schedule_in(sim_duration delay, action fn);
+
+    /// Runs events until the queue empties. Returns events executed.
+    std::uint64_t run();
+
+    /// Runs events with time <= `until`; leaves later events queued.
+    std::uint64_t run_until(sim_time until);
+
+    /// Runs at most one event; returns false when the queue is empty.
+    bool step();
+
+    bool empty() const { return events_.empty(); }
+    std::size_t pending() const { return events_.size(); }
+
+private:
+    struct entry {
+        sim_time at;
+        std::uint64_t seq;
+        action fn;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const
+        {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    sim_time now_{sim_time::zero()};
+    std::uint64_t next_seq_{0};
+    std::priority_queue<entry, std::vector<entry>, later> events_;
+};
+
+} // namespace mmtp::netsim

@@ -1,0 +1,66 @@
+// host.hpp — an end system (sensor node, DTN, analysis server).
+//
+// Hosts terminate traffic: they demultiplex received packets to protocol
+// handlers registered by the transport stacks (udp::, tcp::, mmtp::) and
+// provide send helpers that fill in L2/L3 headers. Hosts never forward.
+#pragma once
+
+#include "netsim/node.hpp"
+#include "wire/lower.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+namespace mmtp::netsim {
+
+class host final : public node {
+public:
+    /// Handler for MMTP carried directly over Ethernet (Req 1):
+    /// `offset` is where the MMTP header starts within p.headers.
+    using l2_handler = std::function<void(packet&&, std::size_t offset)>;
+    /// Handler for an IPv4 protocol: `offset` is where the L4 header
+    /// starts within p.headers.
+    using l3_handler =
+        std::function<void(packet&&, const wire::ipv4_header&, std::size_t offset)>;
+
+    using node::node;
+
+    void receive(packet&& p, unsigned ingress_port) override;
+
+    void set_ethertype_handler(std::uint16_t ethertype, l2_handler h)
+    {
+        l2_handlers_[ethertype] = std::move(h);
+    }
+    void set_protocol_handler(std::uint8_t ipproto, l3_handler h)
+    {
+        l3_handlers_[ipproto] = std::move(h);
+    }
+
+    /// Sends a fully-built packet toward `dst` via the routing table.
+    /// Drops (and counts) if unroutable.
+    void send_ipv4(packet&& p, wire::ipv4_addr dst);
+
+    /// Sends a fully-built L2 frame out of `port`.
+    void send_l2(packet&& p, unsigned port);
+
+    /// Builds the Ethernet+IPv4 header prefix into a fresh packet.
+    /// The caller appends L4 bytes to `headers` and sets the payload.
+    packet make_ipv4_packet(std::uint8_t protocol, wire::ipv4_addr dst,
+                            std::uint8_t dscp = 0) const;
+
+    struct drop_counters {
+        std::uint64_t corrupted{0};
+        std::uint64_t unroutable{0};
+        std::uint64_t unclaimed{0};
+        std::uint64_t not_mine{0};
+        std::uint64_t malformed{0};
+    };
+    const drop_counters& drops() const { return drops_; }
+
+private:
+    std::unordered_map<std::uint16_t, l2_handler> l2_handlers_;
+    std::unordered_map<std::uint8_t, l3_handler> l3_handlers_;
+    drop_counters drops_;
+};
+
+} // namespace mmtp::netsim

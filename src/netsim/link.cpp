@@ -1,0 +1,80 @@
+#include "netsim/link.hpp"
+
+#include "netsim/engine.hpp"
+#include "netsim/node.hpp"
+
+namespace mmtp::netsim {
+
+link::link(engine& eng, rng noise, node& to, unsigned ingress_port_at_dst,
+           const link_config& cfg, std::unique_ptr<queue_disc> q)
+    : eng_(eng),
+      noise_(noise),
+      to_(to),
+      ingress_port_at_dst_(ingress_port_at_dst),
+      cfg_(cfg),
+      queue_(q ? std::move(q) : std::make_unique<drop_tail_queue>(cfg.queue_capacity_bytes))
+{
+}
+
+void link::send(packet&& p)
+{
+    if (p.wire_size() > cfg_.mtu) {
+        stats_.dropped_oversize++;
+        return;
+    }
+    if (!queue_->enqueue(std::move(p))) {
+        // queue discipline recorded the drop
+        if (depth_watcher_) depth_watcher_(queue_->byte_depth());
+        return;
+    }
+    if (depth_watcher_) depth_watcher_(queue_->byte_depth());
+    kick();
+}
+
+void link::kick()
+{
+    if (busy_) return;
+    auto next = queue_->dequeue();
+    if (!next) return;
+    busy_ = true;
+    transmit(std::move(*next));
+}
+
+void link::transmit(packet&& p)
+{
+    const auto tx = cfg_.rate.transmission_time(p.wire_size());
+    stats_.busy = stats_.busy + tx;
+    stats_.tx_packets++;
+    stats_.tx_bytes += p.wire_size();
+
+    // Corruption / random-loss processes.
+    bool drop = false;
+    if (cfg_.drop_probability > 0.0 && noise_.chance(cfg_.drop_probability)) {
+        stats_.dropped_random++;
+        drop = true;
+    }
+    if (!drop && cfg_.bit_error_rate > 0.0) {
+        const double pkt_prob = cfg_.bit_error_rate * static_cast<double>(p.wire_size() * 8);
+        if (noise_.chance(pkt_prob < 1.0 ? pkt_prob : 1.0)) {
+            stats_.corrupted++;
+            p.corrupted = true; // delivered, then dropped by the receiver
+        }
+    }
+
+    // Arrival at the far end after serialization + propagation.
+    if (!drop) {
+        auto arrival = [this, pkt = std::move(p)]() mutable {
+            pkt.hops++;
+            to_.receive(std::move(pkt), ingress_port_at_dst_);
+        };
+        eng_.schedule_in(tx + cfg_.propagation, std::move(arrival));
+    }
+
+    // Serializer frees after the transmission time; send the next packet.
+    eng_.schedule_in(tx, [this] {
+        busy_ = false;
+        kick();
+    });
+}
+
+} // namespace mmtp::netsim

@@ -1,0 +1,87 @@
+// link.hpp — unidirectional point-to-point link.
+//
+// A link models: an egress queue (pluggable discipline), a serializer of
+// `rate` bits/s (one packet at a time, no preemption), a propagation delay
+// and a corruption process. Corruption fires per-packet with probability
+// derived from a bit-error rate and the packet size — corrupted packets
+// are delivered with `corrupted` set (receivers drop them after the
+// integrity check fails, which is how loss appears on capacity-planned
+// WAN paths, §4). A separate `drop_probability` models outright loss.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "netsim/queue.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace mmtp::netsim {
+
+class node;
+class engine;
+
+struct link_config {
+    data_rate rate{data_rate::from_gbps(10)};
+    sim_duration propagation{sim_duration{1000}}; // 1 us default
+    /// Bit-error rate; per-packet corruption prob = 1-(1-ber)^bits,
+    /// approximated as min(1, ber * bits).
+    double bit_error_rate{0.0};
+    /// Independent per-packet drop probability (e.g. optical glitches).
+    double drop_probability{0.0};
+    std::uint64_t queue_capacity_bytes{4 * 1024 * 1024};
+    std::uint32_t mtu{9000}; // jumbo frames are the norm in DAQ (§2.1)
+};
+
+struct link_stats {
+    std::uint64_t tx_packets{0};
+    std::uint64_t tx_bytes{0};
+    std::uint64_t corrupted{0};
+    std::uint64_t dropped_random{0};
+    std::uint64_t dropped_oversize{0};
+    /// Time the serializer spent busy (for utilization reports).
+    sim_duration busy{sim_duration::zero()};
+};
+
+class link {
+public:
+    /// `to` must outlive the link. A custom queue discipline may be
+    /// supplied; otherwise a drop-tail FIFO of the configured capacity.
+    link(engine& eng, rng noise, node& to, unsigned ingress_port_at_dst,
+         const link_config& cfg, std::unique_ptr<queue_disc> q = nullptr);
+
+    /// Queues the packet for transmission; drops it (recording stats)
+    /// if the queue is full or the packet exceeds the MTU.
+    void send(packet&& p);
+
+    const link_config& config() const { return cfg_; }
+    const link_stats& stats() const { return stats_; }
+    const queue_stats& queue_statistics() const { return queue_->stats(); }
+    std::uint64_t queue_depth_bytes() const { return queue_->byte_depth(); }
+    std::size_t queue_depth_packets() const { return queue_->packet_depth(); }
+    node& destination() { return to_; }
+
+    /// Observer invoked after every enqueue with the new queue depth —
+    /// programmable elements hook this to originate backpressure.
+    void set_depth_watcher(std::function<void(std::uint64_t bytes)> w)
+    {
+        depth_watcher_ = std::move(w);
+    }
+
+private:
+    void kick();
+    void transmit(packet&& p);
+
+    engine& eng_;
+    rng noise_;
+    node& to_;
+    unsigned ingress_port_at_dst_;
+    link_config cfg_;
+    std::unique_ptr<queue_disc> queue_;
+    bool busy_{false};
+    link_stats stats_;
+    std::function<void(std::uint64_t)> depth_watcher_;
+};
+
+} // namespace mmtp::netsim

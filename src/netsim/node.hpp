@@ -1,0 +1,71 @@
+// node.hpp — base class for everything attached to the simulated network.
+//
+// A node owns its egress links (one per port) and receives packets from
+// the links of its neighbours. Routing state (dst address → egress port)
+// is populated by netsim::network after the topology is built.
+#pragma once
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+#include "wire/lower.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mmtp::netsim {
+
+class engine;
+
+using node_id = std::uint32_t;
+constexpr unsigned no_port = ~0u;
+
+class node {
+public:
+    node(engine& eng, std::string name, wire::ipv4_addr addr, wire::mac_addr mac)
+        : eng_(eng), name_(std::move(name)), addr_(addr), mac_(mac)
+    {
+    }
+    virtual ~node();
+
+    node(const node&) = delete;
+    node& operator=(const node&) = delete;
+
+    /// Delivers a packet arriving from a neighbour on `ingress_port`.
+    virtual void receive(packet&& p, unsigned ingress_port) = 0;
+
+    /// Adds an egress link; returns its port number.
+    unsigned attach_link(std::unique_ptr<link> l);
+
+    link& egress(unsigned port);
+    const link& egress(unsigned port) const;
+    unsigned port_count() const { return static_cast<unsigned>(links_.size()); }
+
+    /// Static L3 route: packets for `dst` leave via `port`.
+    void add_route(wire::ipv4_addr dst, unsigned port) { routes_[dst] = port; }
+    /// Default route used when no specific entry matches (no_port = none).
+    void set_default_route(unsigned port) { default_route_ = port; }
+    /// Resolves the egress port for `dst`; no_port when unroutable.
+    unsigned route(wire::ipv4_addr dst) const;
+
+    engine& sim() { return eng_; }
+    const std::string& name() const { return name_; }
+    wire::ipv4_addr address() const { return addr_; }
+    wire::mac_addr mac() const { return mac_; }
+
+protected:
+    engine& eng_;
+
+private:
+    std::string name_;
+    wire::ipv4_addr addr_;
+    wire::mac_addr mac_;
+    std::vector<std::unique_ptr<link>> links_;
+    std::unordered_map<wire::ipv4_addr, unsigned> routes_;
+    unsigned default_route_{no_port};
+};
+
+} // namespace mmtp::netsim

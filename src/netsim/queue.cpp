@@ -1,0 +1,82 @@
+#include "netsim/queue.hpp"
+
+namespace mmtp::netsim {
+
+bool drop_tail_queue::enqueue(packet&& p)
+{
+    const auto sz = p.wire_size();
+    if (bytes_ + sz > capacity_bytes_) {
+        stats_.dropped++;
+        stats_.dropped_bytes += sz;
+        return false;
+    }
+    bytes_ += sz;
+    if (bytes_ > stats_.peak_bytes) stats_.peak_bytes = bytes_;
+    stats_.enqueued++;
+    q_.push_back(std::move(p));
+    return true;
+}
+
+std::optional<packet> drop_tail_queue::dequeue()
+{
+    if (q_.empty()) return std::nullopt;
+    packet p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p.wire_size();
+    stats_.dequeued++;
+    return p;
+}
+
+priority_queue_disc::priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
+                                         classifier classify)
+    : bands_(bands), per_band_capacity_(per_band_capacity_bytes), classify_(std::move(classify))
+{
+}
+
+bool priority_queue_disc::enqueue(packet&& p)
+{
+    unsigned b = classify_ ? classify_(p) : 0;
+    if (b >= bands_.size()) b = static_cast<unsigned>(bands_.size()) - 1;
+    auto& bd = bands_[b];
+    const auto sz = p.wire_size();
+    if (bd.bytes + sz > per_band_capacity_) {
+        stats_.dropped++;
+        stats_.dropped_bytes += sz;
+        return false;
+    }
+    bd.bytes += sz;
+    stats_.enqueued++;
+    const auto depth = byte_depth();
+    if (depth > stats_.peak_bytes) stats_.peak_bytes = depth;
+    bd.q.push_back(std::move(p));
+    return true;
+}
+
+std::optional<packet> priority_queue_disc::dequeue()
+{
+    for (auto& bd : bands_) {
+        if (bd.q.empty()) continue;
+        packet p = std::move(bd.q.front());
+        bd.q.pop_front();
+        bd.bytes -= p.wire_size();
+        stats_.dequeued++;
+        return p;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t priority_queue_disc::byte_depth() const
+{
+    std::uint64_t total = 0;
+    for (const auto& bd : bands_) total += bd.bytes;
+    return total;
+}
+
+std::size_t priority_queue_disc::packet_depth() const
+{
+    std::size_t total = 0;
+    for (const auto& bd : bands_) total += bd.q.size();
+    return total;
+}
+
+} // namespace mmtp::netsim

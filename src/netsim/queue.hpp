@@ -1,0 +1,94 @@
+// queue.hpp — egress queue disciplines.
+//
+// Every link has an egress queue. `drop_tail_queue` is the plain FIFO
+// used by non-programmable segments. `priority_queue_disc` is a
+// multi-band strict-priority queue whose band classifier is injected by
+// the caller — programmable elements use it with an MMTP-aware classifier
+// to prioritize age-sensitive traffic (§5.3 "input to active queue
+// management").
+#pragma once
+
+#include "netsim/packet.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace mmtp::netsim {
+
+struct queue_stats {
+    std::uint64_t enqueued{0};
+    std::uint64_t dequeued{0};
+    std::uint64_t dropped{0};
+    std::uint64_t dropped_bytes{0};
+    std::uint64_t peak_bytes{0};
+};
+
+/// Abstract queue discipline.
+class queue_disc {
+public:
+    virtual ~queue_disc() = default;
+
+    /// Returns false if the packet was dropped (queue full).
+    virtual bool enqueue(packet&& p) = 0;
+    virtual std::optional<packet> dequeue() = 0;
+
+    virtual std::uint64_t byte_depth() const = 0;
+    virtual std::size_t packet_depth() const = 0;
+    bool empty() const { return packet_depth() == 0; }
+
+    const queue_stats& stats() const { return stats_; }
+
+protected:
+    queue_stats stats_;
+};
+
+/// FIFO with a byte-capacity limit.
+class drop_tail_queue final : public queue_disc {
+public:
+    explicit drop_tail_queue(std::uint64_t capacity_bytes)
+        : capacity_bytes_(capacity_bytes)
+    {
+    }
+
+    bool enqueue(packet&& p) override;
+    std::optional<packet> dequeue() override;
+    std::uint64_t byte_depth() const override { return bytes_; }
+    std::size_t packet_depth() const override { return q_.size(); }
+
+private:
+    std::uint64_t capacity_bytes_;
+    std::uint64_t bytes_{0};
+    std::deque<packet> q_;
+};
+
+/// Strict-priority multi-band queue. The classifier maps a packet to a
+/// band in [0, bands); band 0 is served first. Each band has its own
+/// byte capacity; a packet that doesn't fit its band is dropped.
+class priority_queue_disc final : public queue_disc {
+public:
+    using classifier = std::function<unsigned(const packet&)>;
+
+    priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
+                        classifier classify);
+
+    bool enqueue(packet&& p) override;
+    std::optional<packet> dequeue() override;
+    std::uint64_t byte_depth() const override;
+    std::size_t packet_depth() const override;
+
+    std::uint64_t band_depth_bytes(unsigned b) const { return bands_[b].bytes; }
+
+private:
+    struct band {
+        std::deque<packet> q;
+        std::uint64_t bytes{0};
+    };
+    std::vector<band> bands_;
+    std::uint64_t per_band_capacity_;
+    classifier classify_;
+};
+
+} // namespace mmtp::netsim

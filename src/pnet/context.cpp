@@ -1,0 +1,68 @@
+#include "pnet/context.hpp"
+
+#include "common/bytes.hpp"
+
+namespace mmtp::pnet {
+
+bool parse_context(packet_context& ctx)
+{
+    byte_reader r(ctx.pkt.headers);
+    const auto eth = wire::parse_eth(r);
+    if (!eth) return false;
+    ctx.eth = *eth;
+
+    if (eth->ethertype == wire::ethertype_mmtp) {
+        // MMTP directly over L2 (Req 1).
+        const auto h = wire::parse(std::span<const std::uint8_t>(ctx.pkt.headers)
+                                       .subspan(r.position()));
+        if (!h) return false;
+        ctx.mmtp = h;
+        ctx.mmtp_over_l2 = true;
+        ctx.l4_offset = r.position();
+        return true;
+    }
+
+    if (eth->ethertype == wire::ethertype_ipv4) {
+        const auto ip = wire::parse_ipv4(r);
+        if (!ip) return false;
+        ctx.ip = ip;
+        ctx.l4_offset = r.position();
+        if (ip->protocol == wire::ipproto_mmtp) {
+            const auto h = wire::parse(std::span<const std::uint8_t>(ctx.pkt.headers)
+                                           .subspan(r.position()));
+            if (!h) return false;
+            ctx.mmtp = h;
+        }
+        return true;
+    }
+
+    // Unknown ethertype: forwarded opaque.
+    ctx.l4_offset = r.position();
+    return true;
+}
+
+void deparse_context(packet_context& ctx)
+{
+    if (!ctx.headers_dirty) return;
+
+    if (ctx.dst_override && ctx.ip) ctx.ip->dst = *ctx.dst_override;
+
+    byte_writer w(wire::max_header_size + wire::eth_header_size + wire::ipv4_header_size);
+    serialize(ctx.eth, w);
+    if (ctx.ip) serialize(*ctx.ip, w);
+
+    if (ctx.mmtp) {
+        // MMTP header is re-serialized from the (possibly rewritten)
+        // struct; MMTP datagrams keep their payload in pkt.payload /
+        // virtual_payload, so headers end here.
+        serialize(*ctx.mmtp, w);
+    } else {
+        // Preserve the L4 header bytes of protocols we do not parse.
+        const auto& old = ctx.pkt.headers;
+        if (ctx.l4_offset < old.size())
+            w.bytes(std::span<const std::uint8_t>(old).subspan(ctx.l4_offset));
+    }
+    ctx.pkt.headers = w.take();
+}
+
+} // namespace mmtp::pnet

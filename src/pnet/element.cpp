@@ -1,0 +1,148 @@
+#include "pnet/element.hpp"
+
+#include "netsim/link.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mmtp::pnet {
+
+void element_state::create_register(const std::string& name, std::size_t cells)
+{
+    registers_[name].resize(cells, 0);
+}
+
+std::uint64_t& element_state::reg(const std::string& name, std::size_t index)
+{
+    auto it = registers_.find(name);
+    if (it == registers_.end())
+        throw std::out_of_range("pnet register not created: " + name);
+    return it->second.at(index);
+}
+
+std::uint64_t element_state::counter(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+element_profile tofino2_profile()
+{
+    return element_profile{"tofino2", sim_duration{400}}; // ~400 ns pipeline
+}
+
+element_profile alveo_profile()
+{
+    return element_profile{"alveo", sim_duration{1500}}; // ~1.5 us FPGA datapath
+}
+
+programmable_switch::programmable_switch(netsim::engine& eng, std::string nm,
+                                         wire::ipv4_addr addr, wire::mac_addr mc,
+                                         element_profile profile)
+    : node(eng, std::move(nm), addr, mc), profile_(std::move(profile))
+{
+    state_.element_addr = addr;
+}
+
+void programmable_switch::add_stage(std::shared_ptr<pipeline_stage> stage)
+{
+    stages_.push_back(std::move(stage));
+}
+
+void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
+{
+    if (p.corrupted) {
+        // Store-and-forward element: FCS fails, frame dropped here.
+        stats_.dropped_corrupted++;
+        return;
+    }
+    if (p.hops > 64) { // loop backstop
+        stats_.dropped_malformed++;
+        return;
+    }
+
+    packet_context ctx;
+    ctx.pkt = std::move(p);
+    ctx.ingress_port = ingress_port;
+    ctx.now = eng_.now();
+    if (!parse_context(ctx)) {
+        stats_.dropped_malformed++;
+        return;
+    }
+
+    for (const auto& stage : stages_) {
+        stage->process(ctx, state_);
+        if (ctx.drop) break;
+    }
+
+    // Control messages synthesized by stages leave first (they are tiny
+    // and time-critical: NAKs, backpressure, deadline notifications).
+    for (auto& e : ctx.emissions) {
+        stats_.emissions++;
+        if (ids_) e.pkt.id = ids_->next();
+        netsim::packet out = std::move(e.pkt);
+        forward(std::move(out), e.dst, false);
+    }
+
+    if (ctx.drop) {
+        stats_.dropped_by_pipeline++;
+        return;
+    }
+
+    deparse_context(ctx);
+
+    // Clones (in-network duplication toward subscribers, Fig. 3 ⑥).
+    for (const auto dst : ctx.clones) {
+        netsim::packet copy = ctx.pkt; // deep copy of headers/payload
+        if (ids_) copy.id = ids_->next();
+        // Rewrite the clone's IPv4 destination.
+        packet_context cc;
+        cc.pkt = std::move(copy);
+        if (parse_context(cc) && cc.ip) {
+            cc.headers_dirty = true;
+            cc.dst_override = dst;
+            deparse_context(cc);
+            stats_.clones++;
+            forward(std::move(cc.pkt), dst, false);
+        }
+    }
+
+    // Primary forwarding decision.
+    const auto delay = profile_.pipeline_latency;
+    if (ctx.mmtp_over_l2) {
+        // DAQ-network L2 segment: one upstream port toward the first DTN.
+        if (l2_uplink_ == netsim::no_port || l2_uplink_ >= port_count()) {
+            stats_.dropped_unroutable++;
+            return;
+        }
+        auto pkt = std::move(ctx.pkt);
+        const unsigned port = l2_uplink_;
+        stats_.forwarded++;
+        eng_.schedule_in(delay, [this, port, moved = std::move(pkt)]() mutable {
+            egress(port).send(std::move(moved));
+        });
+        return;
+    }
+    if (!ctx.ip) {
+        stats_.dropped_unroutable++;
+        return;
+    }
+    const auto dst = ctx.dst_override.value_or(ctx.ip->dst);
+    forward(std::move(ctx.pkt), dst, false);
+}
+
+void programmable_switch::forward(netsim::packet&& p, wire::ipv4_addr dst, bool /*over_l2*/)
+{
+    const unsigned port = route(dst);
+    if (port == netsim::no_port || port >= port_count()) {
+        stats_.dropped_unroutable++;
+        return;
+    }
+    stats_.forwarded++;
+    eng_.schedule_in(profile_.pipeline_latency,
+                     [this, port, moved = std::move(p)]() mutable {
+                         egress(port).send(std::move(moved));
+                     });
+}
+
+} // namespace mmtp::pnet

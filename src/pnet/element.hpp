@@ -1,0 +1,106 @@
+// element.hpp — programmable network element (switch / FPGA NIC).
+//
+// A programmable_switch is a forwarding node that runs a pipeline of
+// header-only stages over every packet. The pipeline abstraction is
+// deliberately constrained to what Tofino-class P4 hardware supports:
+// integer header-field arithmetic, register arrays, counters, packet
+// cloning and synthesized small control packets — no payload access, no
+// floating point, no unbounded loops.
+#pragma once
+
+#include "common/units.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/node.hpp"
+#include "pnet/context.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mmtp::pnet {
+
+/// Per-element mutable state available to stages (P4 registers/counters).
+class element_state {
+public:
+    /// Creates (or resizes) a named register array of u64 cells.
+    void create_register(const std::string& name, std::size_t cells);
+    /// Access a cell; the register must exist and the index be in range.
+    std::uint64_t& reg(const std::string& name, std::size_t index = 0);
+
+    void bump(const std::string& counter, std::uint64_t by = 1) { counters_[counter] += by; }
+    std::uint64_t counter(const std::string& name) const;
+
+    wire::ipv4_addr element_addr{0};
+
+private:
+    std::unordered_map<std::string, std::vector<std::uint64_t>> registers_;
+    std::unordered_map<std::string, std::uint64_t> counters_;
+};
+
+/// A match-action stage. Stages run in order; each may rewrite headers,
+/// drop, clone, or emit control packets via the context.
+class pipeline_stage {
+public:
+    virtual ~pipeline_stage() = default;
+    virtual void process(packet_context& ctx, element_state& state) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Hardware profile: fixed pipeline latency and a tag for reports.
+/// Values approximate the devices used in the paper's pilot (§5.4).
+struct element_profile {
+    std::string kind;
+    sim_duration pipeline_latency{sim_duration{400}};
+};
+
+/// EdgeCore Tofino2-class switch: sub-microsecond pipeline.
+element_profile tofino2_profile();
+/// AMD Alveo (U280/U55C) smartNIC-class element: a little slower, but in
+/// the pilot it is the element that fronts DTN buffers.
+element_profile alveo_profile();
+
+struct switch_stats {
+    std::uint64_t forwarded{0};
+    std::uint64_t dropped_corrupted{0};
+    std::uint64_t dropped_malformed{0};
+    std::uint64_t dropped_by_pipeline{0};
+    std::uint64_t dropped_unroutable{0};
+    std::uint64_t clones{0};
+    std::uint64_t emissions{0};
+};
+
+class programmable_switch : public netsim::node {
+public:
+    programmable_switch(netsim::engine& eng, std::string name, wire::ipv4_addr addr,
+                        wire::mac_addr mac, element_profile profile = tofino2_profile());
+
+    void receive(netsim::packet&& p, unsigned ingress_port) override;
+
+    /// Appends a stage; runs after all previously added stages.
+    void add_stage(std::shared_ptr<pipeline_stage> stage);
+
+    element_state& state() { return state_; }
+    const switch_stats& stats() const { return stats_; }
+    const element_profile& profile() const { return profile_; }
+
+    /// Port used for MMTP-over-L2 frames (DAQ networks are trees toward
+    /// the first DTN, so a single upstream port suffices).
+    void set_l2_uplink(unsigned port) { l2_uplink_ = port; }
+
+    /// Supplies fresh packet ids for clones/emissions.
+    void set_id_source(netsim::packet_id_source* ids) { ids_ = ids; }
+
+private:
+    void forward(netsim::packet&& p, wire::ipv4_addr dst, bool over_l2);
+
+    element_profile profile_;
+    element_state state_;
+    std::vector<std::shared_ptr<pipeline_stage>> stages_;
+    switch_stats stats_;
+    unsigned l2_uplink_{netsim::no_port};
+    netsim::packet_id_source* ids_{nullptr};
+};
+
+} // namespace mmtp::pnet

@@ -1,0 +1,272 @@
+#include "pnet/stages.hpp"
+
+#include "common/bytes.hpp"
+#include "netsim/link.hpp"
+
+namespace mmtp::pnet {
+
+netsim::packet make_control_packet(wire::ipv4_addr element_addr, wire::ipv4_addr dst,
+                                   wire::experiment_id experiment, wire::control_type type,
+                                   std::vector<std::uint8_t> body)
+{
+    wire::header h;
+    h.m.set(wire::feature::control);
+    h.experiment = experiment;
+    h.control = type;
+
+    netsim::packet p;
+    p.headers = wire::build_mmtp_over_ipv4(/*src_mac=*/0, element_addr, dst, h, body.size());
+    p.payload = std::move(body);
+    return p;
+}
+
+// --------------------------------------------------------------------------
+// mode_transition_stage
+
+mode_transition_stage::mode_transition_stage() = default;
+
+void mode_transition_stage::process(packet_context& ctx, element_state& state)
+{
+    if (!ctx.mmtp || ctx.mmtp->m.has(wire::feature::control)) return;
+    auto& h = *ctx.mmtp;
+
+    for (const auto& rule : rules_) {
+        if (!rule.match_any_experiment
+            && wire::experiment_of(h.experiment) != rule.experiment)
+            continue;
+        if ((h.m.cfg_data & rule.require_bits) != rule.require_bits) continue;
+
+        const auto before = h.m.cfg_data;
+        h.m.cfg_data = (h.m.cfg_data | rule.set_bits) & ~rule.clear_bits;
+        if (h.m.cfg_data == before && rule.set_bits == 0 && rule.clear_bits == 0) continue;
+
+        // Activate newly set features with the rule's parameters.
+        if (h.m.has(wire::feature::sequencing) && !h.sequencing) {
+            // Per-stream sequence counter in a register array, indexed by
+            // the full experiment id (slices are independent streams,
+            // Req 8) — the pilot's elements "add a sequence number to
+            // loss-recoverable streams" (§5.4). As in real P4 hardware the
+            // register is a hash-indexed array: concurrent streams must
+            // not collide modulo its size for buffer prediction to hold.
+            state.create_register("mode_seq", seq_register_cells);
+            auto& cell =
+                state.reg("mode_seq", h.experiment % seq_register_cells);
+            wire::sequencing_field f;
+            f.sequence = cell & 0xffffffffffffull;
+            f.epoch = static_cast<std::uint16_t>(cell >> 48);
+            cell++;
+            h.sequencing = f;
+        }
+        if (!h.m.has(wire::feature::sequencing)) h.sequencing.reset();
+
+        if (h.m.has(wire::feature::retransmission) && !h.retransmission) {
+            wire::retransmission_field f;
+            f.buffer_addr = rule.buffer_addr.value_or(state.element_addr);
+            h.retransmission = f;
+        }
+        if (!h.m.has(wire::feature::retransmission)) h.retransmission.reset();
+
+        if (h.m.has(wire::feature::timeliness) && !h.timeliness) {
+            wire::timeliness_field f;
+            f.deadline_us = rule.deadline_us.value_or(0);
+            f.age_us = 0;
+            f.notify_addr = rule.notify_addr.value_or(0);
+            h.timeliness = f;
+        }
+        if (!h.m.has(wire::feature::timeliness)) h.timeliness.reset();
+
+        if (h.m.has(wire::feature::pacing) && !h.pacing) {
+            wire::pacing_field f;
+            f.pace_mbps = rule.pace_mbps.value_or(0);
+            h.pacing = f;
+        }
+        if (!h.m.has(wire::feature::pacing)) h.pacing.reset();
+
+        // Fields the endpoint emitted as zero-valued placeholders get
+        // their values from the rule (the network fills in what the
+        // source cannot know: buffer addresses, deadlines, paces).
+        if (h.retransmission && h.retransmission->buffer_addr == 0 && rule.buffer_addr)
+            h.retransmission->buffer_addr = *rule.buffer_addr;
+        if (h.timeliness) {
+            if (h.timeliness->deadline_us == 0 && rule.deadline_us)
+                h.timeliness->deadline_us = *rule.deadline_us;
+            if (h.timeliness->notify_addr == 0 && rule.notify_addr)
+                h.timeliness->notify_addr = *rule.notify_addr;
+        }
+        if (h.pacing && h.pacing->pace_mbps == 0 && rule.pace_mbps)
+            h.pacing->pace_mbps = *rule.pace_mbps;
+
+        if (!h.m.has(wire::feature::timestamped)) h.timestamp_ns.reset();
+
+        ctx.headers_dirty = true;
+        state.bump("mode_transitions");
+        break; // first matching rule wins, P4-table style
+    }
+}
+
+// --------------------------------------------------------------------------
+// age_update_stage
+
+void age_update_stage::process(packet_context& ctx, element_state& state)
+{
+    if (!ctx.mmtp || !ctx.mmtp->timeliness) return;
+    if (ctx.mmtp->m.has(wire::feature::control)) return;
+    auto& h = *ctx.mmtp;
+    auto& t = *h.timeliness;
+
+    // Age is measured against the source timestamp when present (DAQ
+    // measurements are time-stamped, Req 7); otherwise the field keeps
+    // whatever upstream elements accumulated.
+    if (h.timestamp_ns) {
+        const auto age_ns = ctx.now.ns - static_cast<std::int64_t>(*h.timestamp_ns);
+        t.age_us = age_ns > 0 ? static_cast<std::uint32_t>(age_ns / 1000) : 0;
+        ctx.headers_dirty = true;
+    }
+
+    if (t.deadline_us > 0 && t.age_us > t.deadline_us) {
+        if (!t.aged()) {
+            t.set_aged();
+            ctx.headers_dirty = true;
+            state.bump("aged_packets");
+        }
+        if (cfg_.emit_notifications && !t.notified() && t.notify_addr != 0) {
+            t.set_notified();
+            ctx.headers_dirty = true;
+            wire::deadline_exceeded_body body;
+            body.sequence = h.sequencing ? h.sequencing->sequence : 0;
+            body.epoch = h.sequencing ? h.sequencing->epoch : 0;
+            body.age_us = t.age_us;
+            body.deadline_us = t.deadline_us;
+            body.where = state.element_addr;
+            byte_writer w;
+            serialize(body, w);
+            ctx.emissions.push_back(emission{
+                make_control_packet(state.element_addr, t.notify_addr, h.experiment,
+                                    wire::control_type::deadline_exceeded, w.take()),
+                t.notify_addr});
+            state.bump("deadline_notifications");
+        }
+        if (cfg_.drop_aged) {
+            ctx.drop = true;
+            state.bump("aged_drops");
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// backpressure_stage
+
+backpressure_stage::backpressure_stage(programmable_switch& sw, backpressure_config cfg)
+    : sw_(sw), cfg_(cfg)
+{
+}
+
+void backpressure_stage::process(packet_context& ctx, element_state& state)
+{
+    if (!ctx.mmtp || !ctx.mmtp->m.has(wire::feature::backpressure)) return;
+    if (ctx.mmtp->m.has(wire::feature::control)) return;
+    if (!ctx.ip) return;
+
+    const auto dst = ctx.dst_override.value_or(ctx.ip->dst);
+    const unsigned port = sw_.route(dst);
+    if (port == netsim::no_port || port >= sw_.port_count()) return;
+
+    const auto depth = sw_.egress(port).queue_depth_bytes();
+    if (depth < cfg_.threshold_bytes) return;
+
+    const auto src = ctx.ip->src;
+    auto it = last_signal_.find(src);
+    if (it != last_signal_.end() && (ctx.now - it->second).ns < cfg_.min_interval.ns) return;
+    last_signal_[src] = ctx.now;
+
+    wire::backpressure_body body;
+    const auto capacity = sw_.egress(port).config().queue_capacity_bytes;
+    // level 0..255 ~ occupancy above threshold scaled to remaining room
+    const auto over = depth - cfg_.threshold_bytes;
+    const auto room = capacity > cfg_.threshold_bytes ? capacity - cfg_.threshold_bytes : 1;
+    std::uint64_t level = room ? (over * 255) / room : 255;
+    body.level = static_cast<std::uint8_t>(level > 255 ? 255 : level);
+    body.origin = state.element_addr;
+    body.queue_depth_pkts = static_cast<std::uint32_t>(sw_.egress(port).queue_depth_packets());
+
+    byte_writer w;
+    serialize(body, w);
+    ctx.emissions.push_back(emission{
+        make_control_packet(state.element_addr, src, ctx.mmtp->experiment,
+                            wire::control_type::backpressure, w.take()),
+        src});
+    state.bump("backpressure_signals");
+}
+
+// --------------------------------------------------------------------------
+// duplication_stage
+
+void duplication_stage::add_subscriber(std::uint32_t experiment, wire::ipv4_addr subscriber)
+{
+    auto& v = subs_[experiment];
+    for (auto a : v)
+        if (a == subscriber) return;
+    v.push_back(subscriber);
+}
+
+std::size_t duplication_stage::subscriber_count(std::uint32_t experiment) const
+{
+    auto it = subs_.find(experiment);
+    return it == subs_.end() ? 0 : it->second.size();
+}
+
+void duplication_stage::process(packet_context& ctx, element_state& state)
+{
+    if (!ctx.mmtp) return;
+    auto& h = *ctx.mmtp;
+
+    // In-band subscription addressed to this element.
+    if (h.m.has(wire::feature::control) && h.control == wire::control_type::subscribe
+        && ctx.ip && ctx.ip->dst == state.element_addr) {
+        if (const auto body = wire::parse_subscribe(ctx.control_body())) {
+            add_subscriber(wire::experiment_of(body->experiment), body->subscriber);
+            state.bump("subscriptions");
+        }
+        ctx.drop = true; // consumed
+        return;
+    }
+
+    if (h.m.has(wire::feature::control)) return;
+    if (!h.m.has(wire::feature::duplication)) return;
+
+    auto it = subs_.find(wire::experiment_of(h.experiment));
+    if (it == subs_.end()) return;
+    const auto primary_dst =
+        ctx.dst_override.value_or(ctx.ip ? ctx.ip->dst : 0);
+    for (const auto sub : it->second) {
+        if (sub == primary_dst) continue;
+        ctx.clones.push_back(sub);
+    }
+    if (!ctx.clones.empty()) state.bump("duplicated");
+}
+
+// --------------------------------------------------------------------------
+
+unsigned timeliness_band_of(const netsim::packet& p)
+{
+    byte_reader r(p.headers);
+    const auto eth = wire::parse_eth(r);
+    if (!eth) return 2;
+    std::span<const std::uint8_t> rest;
+    if (eth->ethertype == wire::ethertype_mmtp) {
+        rest = std::span<const std::uint8_t>(p.headers).subspan(r.position());
+    } else if (eth->ethertype == wire::ethertype_ipv4) {
+        const auto ip = wire::parse_ipv4(r);
+        if (!ip || ip->protocol != wire::ipproto_mmtp) return 2;
+        rest = std::span<const std::uint8_t>(p.headers).subspan(r.position());
+    } else {
+        return 2;
+    }
+    const auto h = wire::parse(rest);
+    if (!h) return 2;
+    if (h->m.has(wire::feature::control)) return 0; // NAKs/notifications first
+    if (h->m.has(wire::feature::timeliness)) return 0;
+    return 1; // bulk DAQ
+}
+
+} // namespace mmtp::pnet

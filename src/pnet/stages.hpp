@@ -1,0 +1,152 @@
+// stages.hpp — the MMTP in-network programs (§5.3–§5.4).
+//
+// Each stage is one self-contained match–action program that a real
+// deployment would compile to P4:
+//
+//   mode_transition_stage  rewrites the transport mode at segment
+//                          boundaries (the paper's headline mechanism)
+//   age_update_stage       tracks the time budget, sets the `aged` flag,
+//                          emits deadline-exceeded notifications
+//   backpressure_stage     relays congestion signals toward the source
+//   duplication_stage      mirrors streams toward subscribers
+//
+// All of them operate on headers and element registers only.
+#pragma once
+
+#include "pnet/element.hpp"
+#include "wire/build.hpp"
+#include "wire/control.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mmtp::pnet {
+
+/// Builds a small MMTP control datagram originating at this element.
+netsim::packet make_control_packet(wire::ipv4_addr element_addr, wire::ipv4_addr dst,
+                                   wire::experiment_id experiment, wire::control_type type,
+                                   std::vector<std::uint8_t> body);
+
+// ---------------------------------------------------------------------------
+
+/// One mode-transition rule. A packet matches when its experiment number
+/// equals `experiment` (or `match_any_experiment`) and all bits of
+/// `require_bits` are present in its current cfg_data.
+struct mode_rule {
+    std::uint32_t experiment{0};
+    bool match_any_experiment{false};
+    std::uint32_t require_bits{0};
+
+    /// Feature bits to activate / deactivate.
+    std::uint32_t set_bits{0};
+    std::uint32_t clear_bits{0};
+
+    /// Values for newly activated features.
+    std::optional<wire::ipv4_addr> buffer_addr;      // retransmission
+    std::optional<std::uint32_t> deadline_us;        // timeliness
+    std::optional<wire::ipv4_addr> notify_addr;      // timeliness
+    std::optional<std::uint32_t> pace_mbps;          // pacing
+};
+
+/// Rewrites the transport mode of matching MMTP data packets: the
+/// "shape-shifting" step performed at segment boundaries (Fig. 3 ③).
+/// When sequencing is activated, sequence numbers are assigned from a
+/// per-experiment register array, as the pilot's elements do (§5.4).
+class mode_transition_stage final : public pipeline_stage {
+public:
+    static constexpr std::size_t seq_register_cells = 1024;
+
+    mode_transition_stage();
+    void add_rule(mode_rule rule) { rules_.push_back(rule); }
+
+    void process(packet_context& ctx, element_state& state) override;
+    std::string name() const override { return "mode_transition"; }
+
+private:
+    std::vector<mode_rule> rules_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct age_config {
+    /// Emit deadline_exceeded control messages to the header's notify
+    /// address (once per datagram; the `notified` flag suppresses dups).
+    bool emit_notifications{true};
+    /// Drop datagrams that aged out (policy: stale DAQ data is useless
+    /// for near-real-time analysis and only wastes downstream capacity).
+    bool drop_aged{false};
+};
+
+/// Updates the age field of timeliness-mode packets from the source
+/// timestamp, sets the `aged` flag when the budget is exceeded, and
+/// notifies the configured address (§5.4 "age-sensitivity is handled
+/// entirely in network elements").
+class age_update_stage final : public pipeline_stage {
+public:
+    explicit age_update_stage(age_config cfg = {}) : cfg_(cfg) {}
+
+    void process(packet_context& ctx, element_state& state) override;
+    std::string name() const override { return "age_update"; }
+
+private:
+    age_config cfg_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct backpressure_config {
+    /// Queue depth (bytes) on the packet's egress beyond which a signal
+    /// is sent toward the source.
+    std::uint64_t threshold_bytes{1 * 1024 * 1024};
+    /// Minimum spacing between signals per source (rate limiting).
+    sim_duration min_interval{sim_duration{100000}}; // 100 us
+};
+
+/// Watches the egress queue the packet is about to join; if it is deeper
+/// than the threshold and the packet's mode allows backpressure, sends a
+/// backpressure control message to the packet's source (Fig. 3 ⑤→①).
+class backpressure_stage final : public pipeline_stage {
+public:
+    backpressure_stage(programmable_switch& sw, backpressure_config cfg = {});
+
+    void process(packet_context& ctx, element_state& state) override;
+    std::string name() const override { return "backpressure"; }
+
+private:
+    programmable_switch& sw_;
+    backpressure_config cfg_;
+    std::unordered_map<wire::ipv4_addr, sim_time> last_signal_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Duplicates data packets of subscribed experiments toward subscriber
+/// addresses, and consumes in-band `subscribe` control messages addressed
+/// to this element. This is how Vera Rubin-style alert streams reach
+/// several downstream researchers directly (Fig. 3 ⑥, §2.1).
+class duplication_stage final : public pipeline_stage {
+public:
+    void add_subscriber(std::uint32_t experiment, wire::ipv4_addr subscriber);
+
+    void process(packet_context& ctx, element_state& state) override;
+    std::string name() const override { return "duplication"; }
+
+    std::size_t subscriber_count(std::uint32_t experiment) const;
+
+private:
+    std::unordered_map<std::uint32_t, std::vector<wire::ipv4_addr>> subs_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Band classifier for priority egress queues: deadline-critical and
+/// control traffic first (band 0), bulk DAQ next (band 1), everything
+/// else last (band 2). Usable with netsim::priority_queue_disc; this is
+/// the "explicit transport deadlines ... input to active queue
+/// management" of §5.3.
+unsigned timeliness_band_of(const netsim::packet& p);
+
+constexpr unsigned timeliness_bands = 3;
+
+} // namespace mmtp::pnet

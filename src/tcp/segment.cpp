@@ -1,0 +1,44 @@
+#include "tcp/segment.hpp"
+
+namespace mmtp::tcp {
+
+void segment_header::serialize(byte_writer& w) const
+{
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u64(seq);
+    w.u64(ack);
+    w.u8(flags);
+    w.u32(window);
+    const auto n = sacks.size() > max_sack_blocks ? max_sack_blocks : sacks.size();
+    w.u8(static_cast<std::uint8_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        w.u64(sacks[i].start);
+        w.u64(sacks[i].end);
+    }
+}
+
+std::optional<segment_header> segment_header::parse(std::span<const std::uint8_t> data)
+{
+    byte_reader r(data);
+    segment_header h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.seq = r.u64();
+    h.ack = r.u64();
+    h.flags = r.u8();
+    h.window = r.u32();
+    const auto n = r.u8();
+    if (n > max_sack_blocks) return std::nullopt;
+    for (std::size_t i = 0; i < n; ++i) {
+        sack_block b;
+        b.start = r.u64();
+        b.end = r.u64();
+        if (b.end <= b.start) return std::nullopt;
+        h.sacks.push_back(b);
+    }
+    if (r.failed()) return std::nullopt;
+    return h;
+}
+
+} // namespace mmtp::tcp

@@ -1,0 +1,64 @@
+// segment.hpp — TCP segment header codec for the baseline stack.
+//
+// This is the simulator's TCP, faithful where it matters for DAQ-path
+// behaviour (sequence space, cumulative ACK + SACK, flags, windows) and
+// simplified where it does not: sequence/ack numbers are carried as
+// 64-bit stream offsets (standing in for 32-bit numbers + PAWS-style
+// unwrapping, which tuned DTN stacks handle anyway), the advertised
+// window is 32-bit (16-bit window + window scaling), and checksums are
+// elided because the simulator models corruption at the link layer.
+//
+// Layout (big-endian), 26 bytes + 16*sack_count:
+//   u16 src_port   u16 dst_port
+//   u64 seq        u64 ack
+//   u8  flags      u32 window
+//   u8  sack_count, then sack_count x { u64 start, u64 end }
+#pragma once
+
+#include "common/bytes.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mmtp::tcp {
+
+enum class tcp_flag : std::uint8_t {
+    fin = 1u << 0,
+    syn = 1u << 1,
+    rst = 1u << 2,
+    ack = 1u << 3,
+};
+
+constexpr std::uint8_t flag_bit(tcp_flag f) { return static_cast<std::uint8_t>(f); }
+
+struct sack_block {
+    std::uint64_t start{0};
+    std::uint64_t end{0};
+    bool operator==(const sack_block&) const = default;
+};
+
+constexpr std::size_t max_sack_blocks = 4;
+
+struct segment_header {
+    std::uint16_t src_port{0};
+    std::uint16_t dst_port{0};
+    std::uint64_t seq{0};
+    std::uint64_t ack{0};
+    std::uint8_t flags{0};
+    std::uint32_t window{0};
+    std::vector<sack_block> sacks;
+
+    bool has(tcp_flag f) const { return (flags & flag_bit(f)) != 0; }
+    void set(tcp_flag f) { flags |= flag_bit(f); }
+
+    std::size_t wire_size() const { return 26 + sacks.size() * 16; }
+
+    void serialize(byte_writer& w) const;
+    static std::optional<segment_header> parse(std::span<const std::uint8_t> data);
+
+    bool operator==(const segment_header&) const = default;
+};
+
+} // namespace mmtp::tcp

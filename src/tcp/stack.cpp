@@ -1,0 +1,65 @@
+#include "tcp/stack.hpp"
+
+namespace mmtp::tcp {
+
+stack::stack(netsim::host& h, netsim::packet_id_source& ids) : host_(h), ids_(ids)
+{
+    host_.set_protocol_handler(
+        wire::ipproto_tcp,
+        [this](netsim::packet&& p, const wire::ipv4_header& ip, std::size_t offset) {
+            on_packet(std::move(p), ip, offset);
+        });
+}
+
+std::uint16_t stack::alloc_port()
+{
+    return next_ephemeral_++;
+}
+
+connection& stack::connect(wire::ipv4_addr remote_addr, std::uint16_t remote_port,
+                           tcp_config cfg)
+{
+    const auto local_port = alloc_port();
+    auto conn = std::make_unique<connection>(host_, ids_, cfg, local_port, remote_addr,
+                                             remote_port);
+    auto& ref = *conn;
+    conns_[conn_key{local_port, remote_addr, remote_port}] = std::move(conn);
+    ref.connect();
+    return ref;
+}
+
+void stack::listen(std::uint16_t port, tcp_config cfg, accept_cb on_accept)
+{
+    listeners_[port] = listener{cfg, std::move(on_accept)};
+}
+
+void stack::on_packet(netsim::packet&& p, const wire::ipv4_header& ip, std::size_t offset)
+{
+    const auto seg = segment_header::parse(
+        std::span<const std::uint8_t>(p.headers).subspan(offset));
+    if (!seg) return;
+
+    // Payload length = everything beyond the parsed headers.
+    const std::uint64_t hdr_total = offset + seg->wire_size();
+    std::uint64_t payload_len = p.virtual_payload + p.payload.size();
+    if (p.headers.size() > hdr_total) payload_len += p.headers.size() - hdr_total;
+
+    const conn_key key{seg->dst_port, ip.src, seg->src_port};
+    auto it = conns_.find(key);
+    if (it == conns_.end()) {
+        // New connection? Only for SYNs to a listening port.
+        if (!seg->has(tcp_flag::syn) || seg->has(tcp_flag::ack)) return;
+        auto lit = listeners_.find(seg->dst_port);
+        if (lit == listeners_.end()) return;
+        auto conn = std::make_unique<connection>(host_, ids_, lit->second.cfg,
+                                                 seg->dst_port, ip.src, seg->src_port);
+        auto& ref = *conn;
+        conns_[key] = std::move(conn);
+        if (lit->second.on_accept) lit->second.on_accept(ref);
+        ref.begin_passive(*seg);
+        return;
+    }
+    it->second->handle_segment(*seg, payload_len);
+}
+
+} // namespace mmtp::tcp

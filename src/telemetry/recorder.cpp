@@ -1,0 +1,39 @@
+#include "telemetry/recorder.hpp"
+
+namespace mmtp::telemetry {
+
+void rate_sampler::start(sim_time until)
+{
+    last_value_ = counter_();
+    tick(until);
+}
+
+void rate_sampler::tick(sim_time until)
+{
+    eng_.schedule_in(interval_, [this, until] {
+        const auto now = eng_.now();
+        const auto value = counter_();
+        const double bits = static_cast<double>(value - last_value_) * 8.0;
+        samples_.push_back(sample{now, bits / interval_.seconds() / 1e6});
+        last_value_ = value;
+        if (now < until) tick(until);
+    });
+}
+
+double rate_sampler::peak_mbps() const
+{
+    double best = 0.0;
+    for (const auto& s : samples_)
+        if (s.mbps > best) best = s.mbps;
+    return best;
+}
+
+double rate_sampler::mean_mbps() const
+{
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& s : samples_) sum += s.mbps;
+    return sum / static_cast<double>(samples_.size());
+}
+
+} // namespace mmtp::telemetry

@@ -1,0 +1,79 @@
+// udp.hpp — UDP baseline endpoints.
+//
+// Today's DAQ networks stream over UDP (DUNE) or bare Ethernet (Mu2e)
+// inside the instrument (§4). This stack provides the UDP half of the
+// Fig. 2 baseline: unreliable datagrams with port demultiplexing and no
+// flow, congestion, or loss control.
+#pragma once
+
+#include "netsim/host.hpp"
+
+#include <functional>
+#include <map>
+
+namespace mmtp::udp {
+
+struct datagram {
+    wire::ipv4_addr src{0};
+    std::uint16_t src_port{0};
+    /// Real content bytes (may be empty for bulk DAQ data).
+    std::vector<std::uint8_t> payload;
+    /// Total payload size including virtual bulk bytes.
+    std::uint64_t total_payload_bytes{0};
+    sim_time received{sim_time::zero()};
+    std::uint64_t packet_id{0};
+};
+
+class stack;
+
+class socket {
+public:
+    using receive_cb = std::function<void(datagram&&)>;
+
+    void set_on_receive(receive_cb cb) { on_receive_ = std::move(cb); }
+
+    /// Sends a datagram: `content` rides as real bytes, `extra_virtual`
+    /// adds size-only bulk. Returns the packet id (for tracing).
+    std::uint64_t send_to(wire::ipv4_addr dst, std::uint16_t dst_port,
+                          std::vector<std::uint8_t> content,
+                          std::uint64_t extra_virtual = 0);
+
+    std::uint16_t port() const { return port_; }
+
+    struct socket_stats {
+        std::uint64_t sent{0};
+        std::uint64_t received{0};
+        std::uint64_t bytes_sent{0};
+        std::uint64_t bytes_received{0};
+    };
+    const socket_stats& stats() const { return stats_; }
+
+private:
+    friend class stack;
+    socket(stack& s, std::uint16_t port) : stack_(s), port_(port) {}
+
+    stack& stack_;
+    std::uint16_t port_;
+    receive_cb on_receive_;
+    socket_stats stats_;
+};
+
+class stack {
+public:
+    stack(netsim::host& h, netsim::packet_id_source& ids);
+
+    /// Binds a socket to `port` (replaces any existing binding).
+    socket& open(std::uint16_t port);
+
+    netsim::host& host() { return host_; }
+
+private:
+    friend class socket;
+    void on_packet(netsim::packet&& p, const wire::ipv4_header& ip, std::size_t offset);
+
+    netsim::host& host_;
+    netsim::packet_id_source& ids_;
+    std::map<std::uint16_t, std::unique_ptr<socket>> sockets_;
+};
+
+} // namespace mmtp::udp

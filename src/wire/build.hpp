@@ -1,0 +1,27 @@
+// build.hpp — convenience builders for complete MMTP header stacks.
+//
+// Endpoints and network elements both need "eth + ipv4 + mmtp" and
+// "eth + mmtp" byte sequences; these helpers keep that assembly in one
+// place so header layout changes don't ripple through the codebase.
+#pragma once
+
+#include "wire/header.hpp"
+#include "wire/lower.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mmtp::wire {
+
+/// Serialized Ethernet + IPv4(proto 253) + MMTP header stack.
+/// `total_payload` is only used to fill the IPv4 length field.
+std::vector<std::uint8_t> build_mmtp_over_ipv4(mac_addr src_mac, ipv4_addr src,
+                                               ipv4_addr dst, const header& h,
+                                               std::size_t total_payload,
+                                               std::uint8_t dscp = 0);
+
+/// Serialized Ethernet(ethertype 0x88B5) + MMTP header stack (Req 1).
+std::vector<std::uint8_t> build_mmtp_over_l2(mac_addr src_mac, mac_addr dst_mac,
+                                             const header& h);
+
+} // namespace mmtp::wire

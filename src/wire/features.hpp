@@ -1,0 +1,86 @@
+// features.hpp — MMTP feature bits and transport modes.
+//
+// Per §5.2 of the paper, the core header carries an 8-bit configuration
+// identifier and 24 bits of configuration data; together they form the
+// transport *mode*. The configuration data bits activate protocol
+// features for the current network segment; for each activated feature a
+// fixed-size extension field follows the core header (in a fixed order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mmtp::wire {
+
+/// Feature bits within the 24-bit configuration-data field.
+/// The bit order here is also the on-wire order of extension fields.
+enum class feature : std::uint32_t {
+    /// 48-bit sequence number + 16-bit stream epoch (loss detection).
+    sequencing = 1u << 0,
+    /// IPv4 address of the nearest upstream retransmission buffer;
+    /// receivers NAK to this address instead of the source (Req 4, §5.3).
+    retransmission = 1u << 1,
+    /// Delivery deadline + accumulated age + violation-notify address
+    /// (Req 3, §5.3-§5.4 "age-sensitivity").
+    timeliness = 1u << 2,
+    /// Sender pace in Mbps, set by the control plane for the segment.
+    pacing = 1u << 3,
+    /// Network elements may relay backpressure signals toward the source.
+    backpressure = 1u << 4,
+    /// Network elements may duplicate this stream toward subscribers.
+    duplication = 1u << 5,
+    /// Payload is encrypted by third-party software/hardware (Req 5);
+    /// carried as a flag only — in-network elements never touch payload.
+    encrypted = 1u << 6,
+    /// This datagram is a control message (NAK, backpressure, ...).
+    control = 1u << 7,
+    /// 64-bit source timestamp in ns (message-based abstraction, Req 7).
+    timestamped = 1u << 8,
+};
+
+constexpr std::uint32_t feature_bit(feature f) { return static_cast<std::uint32_t>(f); }
+
+/// Mask of all bits defined above; any other cfg_data bit is reserved.
+constexpr std::uint32_t known_feature_mask = 0x1ffu;
+
+/// A transport mode: configuration identifier + activated feature bits.
+/// cfg_id versions the *interpretation* of cfg_data; this library
+/// implements cfg_id 0 (the layout documented above).
+struct mode {
+    std::uint8_t cfg_id{0};
+    std::uint32_t cfg_data{0}; // 24 bits significant
+
+    constexpr bool has(feature f) const { return (cfg_data & feature_bit(f)) != 0; }
+    constexpr mode& set(feature f)
+    {
+        cfg_data |= feature_bit(f);
+        return *this;
+    }
+    constexpr mode& clear(feature f)
+    {
+        cfg_data &= ~feature_bit(f);
+        return *this;
+    }
+
+    constexpr bool operator==(const mode&) const = default;
+};
+
+/// The three pilot-study modes (§5.4).
+namespace modes {
+/// Mode 0: identification only — unreliable, sensor → first DTN.
+constexpr mode identification{0, 0};
+
+/// Mode 1: age-sensitive + recoverable-loss, DTN1 → DTN2 across the WAN.
+constexpr mode wan_reliable{
+    0,
+    feature_bit(feature::sequencing) | feature_bit(feature::retransmission)
+        | feature_bit(feature::timeliness) | feature_bit(feature::backpressure)};
+
+/// Mode 2: timeliness check at the destination (age carried, no recovery).
+constexpr mode destination_check{0, feature_bit(feature::timeliness)};
+} // namespace modes
+
+/// Human-readable rendering, e.g. "cfg0[seq,rtx,time]".
+std::string to_string(const mode& m);
+
+} // namespace mmtp::wire

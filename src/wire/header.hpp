@@ -1,0 +1,137 @@
+// header.hpp — the MMTP wire header (§5.2).
+//
+// Layout (big-endian):
+//
+//   core header, always present (8 bytes):
+//     u8  cfg_id          configuration identifier (versions cfg_data)
+//     u24 cfg_data        feature bits for the current segment
+//     u32 experiment_id   experiment + instrument slice (Req 8)
+//
+//   then, for each feature bit set in cfg_data, a fixed-size extension
+//   field, in the fixed order below (so the offset of every field is a
+//   pure function of cfg_data — P4-parseable without loops):
+//
+//     sequencing      u48 seq, u16 epoch                        (8 bytes)
+//     retransmission  u32 buffer IPv4                           (4 bytes)
+//     timeliness      u32 deadline_us, u32 age_us, u16 flags,
+//                     u32 notify IPv4                          (14 bytes)
+//     pacing          u32 pace_mbps                             (4 bytes)
+//     control         u8 control type                           (1 byte)
+//     timestamped     u64 source timestamp ns                   (8 bytes)
+//
+// The payload (never inspected in-network) follows the header.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "wire/features.hpp"
+#include "wire/ids.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace mmtp::wire {
+
+/// IPv4 address in host byte order (the simulator's node addresses).
+using ipv4_addr = std::uint32_t;
+
+/// Timeliness flags (u16).
+enum class timeliness_flag : std::uint16_t {
+    /// Set by a network element when accumulated age exceeded the deadline
+    /// by the time the packet reached that element (§5.4).
+    aged = 1u << 0,
+    /// A deadline-exceeded notification has already been emitted for this
+    /// datagram (suppresses duplicate notifications downstream).
+    notified = 1u << 1,
+};
+
+constexpr std::uint16_t timeliness_flag_bit(timeliness_flag f)
+{
+    return static_cast<std::uint16_t>(f);
+}
+
+struct sequencing_field {
+    std::uint64_t sequence{0}; // 48 bits significant
+    std::uint16_t epoch{0};
+};
+
+struct retransmission_field {
+    ipv4_addr buffer_addr{0};
+};
+
+struct timeliness_field {
+    std::uint32_t deadline_us{0}; // total age budget for the journey
+    std::uint32_t age_us{0};      // accumulated so far, updated in-network
+    std::uint16_t flags{0};
+    ipv4_addr notify_addr{0};
+
+    bool aged() const { return (flags & timeliness_flag_bit(timeliness_flag::aged)) != 0; }
+    void set_aged() { flags |= timeliness_flag_bit(timeliness_flag::aged); }
+    bool notified() const
+    {
+        return (flags & timeliness_flag_bit(timeliness_flag::notified)) != 0;
+    }
+    void set_notified() { flags |= timeliness_flag_bit(timeliness_flag::notified); }
+};
+
+struct pacing_field {
+    std::uint32_t pace_mbps{0};
+};
+
+/// Control-message type carried when feature::control is set; the body
+/// layout for each type lives in wire/control.hpp.
+enum class control_type : std::uint8_t {
+    nak = 1,               // request retransmission of sequence ranges
+    backpressure = 2,      // slow-down signal relayed toward the source
+    deadline_exceeded = 3, // timeliness violation notification
+    buffer_advert = 4,     // a buffer announces itself (resource map)
+    subscribe = 5,         // request in-network duplication of a stream
+    stream_flush = 6,      // end-of-window marker: reveals tail loss
+};
+
+/// Parsed/composed MMTP header. Optional members mirror feature bits:
+/// serialization requires that a member is present iff its bit is set.
+struct header {
+    mode m{};
+    experiment_id experiment{0};
+
+    std::optional<sequencing_field> sequencing;
+    std::optional<retransmission_field> retransmission;
+    std::optional<timeliness_field> timeliness;
+    std::optional<pacing_field> pacing;
+    std::optional<control_type> control;
+    std::optional<std::uint64_t> timestamp_ns;
+
+    /// Serialized size in bytes for this header's mode.
+    std::size_t wire_size() const;
+
+    /// True when every optional member matches its feature bit.
+    bool consistent() const;
+};
+
+constexpr std::size_t core_header_size = 8;
+/// Largest possible header (all features active).
+constexpr std::size_t max_header_size = core_header_size + 8 + 4 + 14 + 4 + 1 + 8;
+
+/// Serialized size implied by a mode alone.
+std::size_t header_size_for(const mode& m);
+
+/// Appends the header to `w`. Returns false (writing nothing) if the
+/// header is inconsistent (optional members not matching feature bits).
+bool serialize(const header& h, byte_writer& w);
+
+/// Parses a header from the front of `data`. Returns std::nullopt on
+/// truncation, unknown cfg_id, or reserved feature bits.
+std::optional<header> parse(std::span<const std::uint8_t> data);
+
+/// Parses only the core header (cfg + experiment) without extensions —
+/// what a minimal mode-0 element needs.
+std::optional<header> parse_core(std::span<const std::uint8_t> data);
+
+/// Creates default-valued extension fields for any feature bit of h.m
+/// whose field is missing (and drops fields whose bit is clear), making
+/// the header consistent for serialization. Endpoints use this when an
+/// origin mode activates features whose values the *network* fills in.
+void materialize_missing_fields(header& h);
+
+} // namespace mmtp::wire

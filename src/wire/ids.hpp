@@ -1,0 +1,38 @@
+// ids.hpp — experiment and instrument-slice identifiers.
+//
+// The 32-bit experiment-ID field of the core header identifies which
+// experiment produced the data and, within a partitioned instrument,
+// which slice (Req 8): the high 20 bits select the experiment and the low
+// 12 bits the slice, allowing 4096 simultaneous partitions per instrument
+// (DUNE's four detector modules, or per-researcher partitions).
+#pragma once
+
+#include <cstdint>
+
+namespace mmtp::wire {
+
+using experiment_id = std::uint32_t;
+
+constexpr unsigned slice_bits = 12;
+constexpr std::uint32_t slice_mask = (1u << slice_bits) - 1;
+
+constexpr experiment_id make_experiment_id(std::uint32_t experiment, std::uint32_t slice)
+{
+    return (experiment << slice_bits) | (slice & slice_mask);
+}
+
+constexpr std::uint32_t experiment_of(experiment_id id) { return id >> slice_bits; }
+constexpr std::uint32_t slice_of(experiment_id id) { return id & slice_mask; }
+
+/// Well-known experiment numbers used throughout examples and benches
+/// (matching Table 1 of the paper).
+namespace experiments {
+constexpr std::uint32_t cms_l1 = 1;
+constexpr std::uint32_t dune = 2;
+constexpr std::uint32_t ecce = 3;
+constexpr std::uint32_t mu2e = 4;
+constexpr std::uint32_t vera_rubin = 5;
+constexpr std::uint32_t iceberg = 6; // DUNE prototype used in the pilot
+} // namespace experiments
+
+} // namespace mmtp::wire

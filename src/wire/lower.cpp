@@ -1,0 +1,93 @@
+#include "wire/lower.hpp"
+
+#include <cstdio>
+
+namespace mmtp::wire {
+
+void serialize(const eth_header& h, byte_writer& w)
+{
+    w.u48(h.dst);
+    w.u48(h.src);
+    w.u16(h.ethertype);
+}
+
+std::optional<eth_header> parse_eth(byte_reader& r)
+{
+    eth_header h;
+    h.dst = r.u48();
+    h.src = r.u48();
+    h.ethertype = r.u16();
+    if (r.failed()) return std::nullopt;
+    return h;
+}
+
+void serialize(const ipv4_header& h, byte_writer& w)
+{
+    w.u8(0x45); // version 4, IHL 5
+    w.u8(h.dscp);
+    w.u16(h.total_length);
+    w.u16(0); // identification
+    w.u16(0x4000); // DF set, no fragmentation in DAQ paths
+    w.u8(h.ttl);
+    w.u8(h.protocol);
+    w.u16(0); // checksum elided in the simulator (corruption modeled at L1)
+    w.u32(h.src);
+    w.u32(h.dst);
+}
+
+std::optional<ipv4_header> parse_ipv4(byte_reader& r)
+{
+    const auto ver_ihl = r.u8();
+    if (r.failed() || ver_ihl != 0x45) return std::nullopt;
+    ipv4_header h;
+    h.dscp = r.u8();
+    h.total_length = r.u16();
+    r.skip(2); // identification
+    const auto flags = r.u16();
+    if ((flags & 0x2000) != 0) return std::nullopt; // MF set: unsupported
+    h.ttl = r.u8();
+    h.protocol = r.u8();
+    r.skip(2); // checksum
+    h.src = r.u32();
+    h.dst = r.u32();
+    if (r.failed()) return std::nullopt;
+    return h;
+}
+
+void serialize(const udp_header& h, byte_writer& w)
+{
+    w.u16(h.src_port);
+    w.u16(h.dst_port);
+    w.u16(h.length);
+    w.u16(0); // checksum elided
+}
+
+std::optional<udp_header> parse_udp(byte_reader& r)
+{
+    udp_header h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.length = r.u16();
+    r.skip(2);
+    if (r.failed()) return std::nullopt;
+    return h;
+}
+
+std::string addr_to_string(ipv4_addr a)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (a >> 24) & 0xff, (a >> 16) & 0xff,
+                  (a >> 8) & 0xff, a & 0xff);
+    return buf;
+}
+
+std::optional<ipv4_addr> addr_from_string(const std::string& s)
+{
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    char tail = 0;
+    if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) return std::nullopt;
+    if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+    return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+} // namespace mmtp::wire

@@ -1,0 +1,184 @@
+// Unit tests for the control plane: resource map, capacity planner, and
+// the mode-policy compiler.
+#include "control/planner.hpp"
+#include "control/policy.hpp"
+#include "control/resource_map.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::control;
+using namespace mmtp::literals;
+
+// ----------------------------------------------------------- resource map
+
+TEST(resource_map, add_find_replace)
+{
+    resource_map m;
+    m.add({resource_kind::retransmission_buffer, 0x0a000001, "buf1", 100, 1_s, "site-a"});
+    m.add({resource_kind::programmable_switch, 0x0a000002, "sw1", 0, {}, "site-a"});
+    EXPECT_EQ(m.records().size(), 2u);
+    auto r = m.find(0x0a000001);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->name, "buf1");
+    // same addr replaces
+    m.add({resource_kind::retransmission_buffer, 0x0a000001, "buf1-v2", 200, 1_s, "site-a"});
+    EXPECT_EQ(m.records().size(), 2u);
+    EXPECT_EQ(m.find(0x0a000001)->name, "buf1-v2");
+    EXPECT_FALSE(m.find(0xff).has_value());
+    EXPECT_EQ(m.count(resource_kind::retransmission_buffer), 1u);
+}
+
+TEST(resource_map, nearest_upstream_buffer)
+{
+    resource_map m;
+    m.add({resource_kind::retransmission_buffer, 1, "far", 0, {}, ""});
+    m.add({resource_kind::programmable_switch, 2, "sw", 0, {}, ""});
+    m.add({resource_kind::retransmission_buffer, 3, "near", 0, {}, ""});
+    const std::vector<wire::ipv4_addr> path{1, 2, 3, 4};
+    auto r = m.nearest_upstream_buffer(path, 4);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->name, "near"); // the LAST buffer before the receiver
+    // restrict to the first two hops
+    r = m.nearest_upstream_buffer(path, 2);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->name, "far");
+    EXPECT_FALSE(m.nearest_upstream_buffer(path, 0).has_value());
+}
+
+TEST(resource_map, ingest_advert)
+{
+    resource_map m;
+    wire::buffer_advert_body b{0x0a000009, 1024, 2000};
+    m.ingest_advert(b, "domain-x");
+    auto r = m.find(0x0a000009);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->kind, resource_kind::retransmission_buffer);
+    EXPECT_EQ(r->capacity_bytes, 1024u);
+    EXPECT_EQ(r->retention.ns, (2_s).ns);
+    EXPECT_EQ(r->domain, "domain-x");
+}
+
+// --------------------------------------------------------------- planner
+
+TEST(planner, admits_within_budget_rejects_beyond)
+{
+    capacity_planner p;
+    p.register_link("wan", data_rate::from_gbps(100), 0.05); // 95G usable
+    const std::vector<link_id> path{"wan"};
+    auto f1 = p.admit(path, data_rate::from_gbps(60));
+    ASSERT_TRUE(f1.has_value());
+    EXPECT_FALSE(p.admit(path, data_rate::from_gbps(40)).has_value()); // 60+40 > 95
+    auto f2 = p.admit(path, data_rate::from_gbps(30));
+    EXPECT_TRUE(f2.has_value());
+    EXPECT_NEAR(p.committed("wan").gbps(), 90.0, 0.01);
+    EXPECT_NEAR(p.available("wan").gbps(), 5.0, 0.01);
+}
+
+TEST(planner, release_frees_capacity)
+{
+    capacity_planner p;
+    p.register_link("l", data_rate::from_gbps(10), 0.0);
+    auto f = p.admit({"l"}, data_rate::from_gbps(10));
+    ASSERT_TRUE(f.has_value());
+    EXPECT_FALSE(p.admit({"l"}, data_rate::from_gbps(1)).has_value());
+    p.release(*f);
+    EXPECT_TRUE(p.admit({"l"}, data_rate::from_gbps(1)).has_value());
+    EXPECT_EQ(p.flow_count(), 1u);
+}
+
+TEST(planner, multi_link_paths_must_fit_everywhere)
+{
+    capacity_planner p;
+    p.register_link("a", data_rate::from_gbps(100), 0.0);
+    p.register_link("b", data_rate::from_gbps(10), 0.0);
+    EXPECT_FALSE(p.admit({"a", "b"}, data_rate::from_gbps(20)).has_value());
+    EXPECT_TRUE(p.admit({"a", "b"}, data_rate::from_gbps(10)).has_value());
+}
+
+TEST(planner, unknown_link_rejected_but_unchecked_allows_overbooking)
+{
+    capacity_planner p;
+    p.register_link("l", data_rate::from_gbps(1), 0.0);
+    EXPECT_FALSE(p.admit({"nope"}, data_rate::from_mbps(1)).has_value());
+    // ablation A2: deliberate overbooking
+    p.admit_unchecked({"l"}, data_rate::from_gbps(5));
+    EXPECT_NEAR(p.committed("l").gbps(), 5.0, 0.01);
+    EXPECT_EQ(p.available("l").bits_per_sec, 0u);
+}
+
+// ---------------------------------------------------------------- policy
+
+namespace {
+
+policy_inputs pilot_like_inputs()
+{
+    policy_inputs in;
+    in.experiment = 6;
+    in.segments = {
+        {path_segment::kind::daq, 1_us, data_rate::from_gbps(100), false, 0},
+        {path_segment::kind::wan, 10_ms, data_rate::from_gbps(100), true, 0x0a000010},
+        {path_segment::kind::campus, 1_ms, data_rate::from_gbps(100), false, 0x0a000020},
+    };
+    in.recovery_buffer = 0x0a000002;
+    in.notify_addr = 0x0a000002;
+    return in;
+}
+
+} // namespace
+
+TEST(policy, pilot_three_mode_structure)
+{
+    resource_map m;
+    const auto plan = compile_modes(pilot_like_inputs(), m);
+
+    EXPECT_EQ(plan.origin_mode.cfg_data, 0u); // mode 0 at the sensor
+    ASSERT_EQ(plan.transitions.size(), 2u);
+
+    // WAN boundary: sequencing + recovery + timeliness + backpressure
+    const auto& wan = plan.transitions[0];
+    EXPECT_EQ(wan.element, 0x0a000010u);
+    EXPECT_TRUE(wan.resulting_mode.has(wire::feature::sequencing));
+    EXPECT_TRUE(wan.resulting_mode.has(wire::feature::retransmission));
+    EXPECT_TRUE(wan.resulting_mode.has(wire::feature::timeliness));
+    EXPECT_TRUE(wan.resulting_mode.has(wire::feature::backpressure));
+    EXPECT_EQ(wan.rule.buffer_addr.value_or(0), 0x0a000002u);
+
+    // campus boundary: signalling stripped, recovery info kept for DTN2
+    const auto& campus = plan.transitions[1];
+    EXPECT_EQ(campus.element, 0x0a000020u);
+    EXPECT_FALSE(campus.resulting_mode.has(wire::feature::backpressure));
+    EXPECT_TRUE(campus.resulting_mode.has(wire::feature::retransmission));
+    EXPECT_TRUE(campus.resulting_mode.has(wire::feature::timeliness));
+}
+
+TEST(policy, deadline_scales_with_path_latency)
+{
+    resource_map m;
+    auto in = pilot_like_inputs();
+    const auto short_plan = compile_modes(in, m);
+    in.segments[1].one_way_latency = 100_ms;
+    const auto long_plan = compile_modes(in, m);
+    EXPECT_GT(long_plan.deadline_us, short_plan.deadline_us);
+    // slack x path + allowance: 3 x ~11 ms + 2 ms ≈ 35 ms
+    EXPECT_NEAR(static_cast<double>(short_plan.deadline_us), 35000.0, 2000.0);
+}
+
+TEST(policy, nak_retry_exceeds_recovery_rtt)
+{
+    resource_map m;
+    const auto plan = compile_modes(pilot_like_inputs(), m);
+    // recovery RTT ≈ 2*(10ms+1ms) = 22 ms; retry must exceed it
+    EXPECT_GT(plan.suggested_nak_retry.ns, (22_ms).ns);
+}
+
+TEST(policy, buffer_from_resource_map_when_not_explicit)
+{
+    resource_map m;
+    m.add({resource_kind::retransmission_buffer, 0x0a000010, "wan-edge-buf", 0, {}, ""});
+    auto in = pilot_like_inputs();
+    in.recovery_buffer = 0; // let the map decide
+    const auto plan = compile_modes(in, m);
+    ASSERT_FALSE(plan.transitions.empty());
+    EXPECT_EQ(plan.transitions[0].rule.buffer_addr.value_or(0), 0x0a000010u);
+}

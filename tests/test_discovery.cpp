@@ -1,0 +1,190 @@
+// Tests for the resource-discovery control plane (§6 challenge 1):
+// gossip convergence, split horizon, versioned updates, withdrawal,
+// holddown expiry and propagation-radius damping.
+#include "control/discovery.hpp"
+#include "control/policy.hpp"
+#include "netsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::control;
+using namespace mmtp::literals;
+
+namespace {
+
+resource_record buffer_at(wire::ipv4_addr addr, const char* name)
+{
+    resource_record r;
+    r.kind = resource_kind::retransmission_buffer;
+    r.addr = addr;
+    r.name = name;
+    r.capacity_bytes = 1 << 20;
+    return r;
+}
+
+directory_config cfg_for(const char* domain)
+{
+    directory_config c;
+    c.domain = domain;
+    c.gossip_interval = 100_ms;
+    c.holddown = 1_s;
+    return c;
+}
+
+} // namespace
+
+TEST(discovery, two_domains_converge)
+{
+    netsim::engine eng;
+    domain_directory esnet(eng, cfg_for("esnet"));
+    domain_directory geant(eng, cfg_for("geant"));
+    esnet.publish(buffer_at(0x0a000001, "esnet-buf"));
+    geant.publish(buffer_at(0x0b000001, "geant-buf"));
+    domain_directory::peer(esnet, geant);
+
+    eng.run_until(sim_time{(1_s).ns});
+
+    const auto esnet_view = esnet.snapshot();
+    const auto geant_view = geant.snapshot();
+    EXPECT_EQ(esnet_view.records().size(), 2u);
+    EXPECT_EQ(geant_view.records().size(), 2u);
+    ASSERT_TRUE(esnet_view.find(0x0b000001).has_value());
+    EXPECT_EQ(esnet_view.find(0x0b000001)->domain, "geant");
+    ASSERT_TRUE(geant_view.find(0x0a000001).has_value());
+    EXPECT_EQ(geant_view.find(0x0a000001)->domain, "esnet");
+}
+
+TEST(discovery, transitive_propagation_across_chain)
+{
+    netsim::engine eng;
+    domain_directory a(eng, cfg_for("a"));
+    domain_directory b(eng, cfg_for("b"));
+    domain_directory c(eng, cfg_for("c"));
+    a.publish(buffer_at(1, "a-buf"));
+    domain_directory::peer(a, b);
+    domain_directory::peer(b, c);
+
+    eng.run_until(sim_time{(1_s).ns});
+    // c learns a's buffer via b, with the path length incremented twice
+    ASSERT_TRUE(c.snapshot().find(1).has_value());
+    EXPECT_EQ(c.entries().at(1).path_length, 2);
+}
+
+TEST(discovery, radius_damping_limits_propagation)
+{
+    netsim::engine eng;
+    std::vector<std::unique_ptr<domain_directory>> chain;
+    for (int i = 0; i < 6; ++i) {
+        auto cfg = cfg_for(("d" + std::to_string(i)).c_str());
+        cfg.max_path_length = 3;
+        chain.push_back(std::make_unique<domain_directory>(eng, cfg));
+    }
+    chain[0]->publish(buffer_at(1, "far-buf"));
+    for (int i = 0; i + 1 < 6; ++i) domain_directory::peer(*chain[i], *chain[i + 1]);
+
+    eng.run_until(sim_time{(3_s).ns});
+    // reachable within 3 hops only
+    EXPECT_TRUE(chain[1]->snapshot().find(1).has_value());
+    EXPECT_TRUE(chain[2]->snapshot().find(1).has_value());
+    EXPECT_TRUE(chain[3]->snapshot().find(1).has_value());
+    EXPECT_FALSE(chain[5]->snapshot().find(1).has_value());
+}
+
+TEST(discovery, withdrawal_propagates)
+{
+    netsim::engine eng;
+    domain_directory a(eng, cfg_for("a"));
+    domain_directory b(eng, cfg_for("b"));
+    a.publish(buffer_at(1, "a-buf"));
+    domain_directory::peer(a, b);
+    eng.run_until(sim_time{(500_ms).ns});
+    ASSERT_TRUE(b.snapshot().find(1).has_value());
+
+    a.withdraw(1);
+    eng.run_until(sim_time{(1500_ms).ns});
+    EXPECT_FALSE(b.snapshot().find(1).has_value());
+    EXPECT_FALSE(a.snapshot().find(1).has_value());
+}
+
+TEST(discovery, version_updates_replace_older_entries)
+{
+    netsim::engine eng;
+    domain_directory a(eng, cfg_for("a"));
+    domain_directory b(eng, cfg_for("b"));
+    auto r = buffer_at(1, "a-buf");
+    r.capacity_bytes = 100;
+    a.publish(r);
+    domain_directory::peer(a, b);
+    eng.run_until(sim_time{(500_ms).ns});
+    ASSERT_EQ(b.snapshot().find(1)->capacity_bytes, 100u);
+
+    r.capacity_bytes = 999; // re-publish with new capacity
+    a.publish(r);
+    eng.run_until(sim_time{(1_s).ns});
+    EXPECT_EQ(b.snapshot().find(1)->capacity_bytes, 999u);
+}
+
+TEST(discovery, holddown_expires_unrefreshed_entries)
+{
+    netsim::engine eng;
+    auto cfg_a = cfg_for("a");
+    domain_directory a(eng, cfg_a);
+    auto cfg_b = cfg_for("b");
+    cfg_b.holddown = 300_ms; // b expires quickly
+    domain_directory b(eng, cfg_b);
+    a.publish(buffer_at(1, "a-buf"));
+    domain_directory::peer(a, b);
+    eng.run_until(sim_time{(500_ms).ns});
+    ASSERT_TRUE(b.snapshot().find(1).has_value());
+
+    // a keeps gossiping, so the entry stays refreshed and alive
+    eng.run_until(sim_time{(2_s).ns});
+    EXPECT_TRUE(b.snapshot().find(1).has_value());
+    EXPECT_GT(b.stats().updates_received, 0u);
+}
+
+TEST(discovery, learned_callback_and_in_band_adverts)
+{
+    netsim::engine eng;
+    domain_directory a(eng, cfg_for("a"));
+    domain_directory b(eng, cfg_for("b"));
+    std::vector<wire::ipv4_addr> learned;
+    b.set_on_learned([&](const resource_record& r) { learned.push_back(r.addr); });
+
+    wire::buffer_advert_body advert{0x0a000042, 1ull << 30, 5000};
+    a.publish_advert(advert);
+    domain_directory::peer(a, b);
+    eng.run_until(sim_time{(500_ms).ns});
+
+    ASSERT_EQ(learned.size(), 1u);
+    EXPECT_EQ(learned[0], 0x0a000042u);
+    const auto r = b.snapshot().find(0x0a000042);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->kind, resource_kind::retransmission_buffer);
+    EXPECT_EQ(r->capacity_bytes, 1ull << 30);
+    EXPECT_EQ(r->retention.ns, (5_s).ns);
+}
+
+TEST(discovery, snapshot_feeds_policy_compiler)
+{
+    // end-to-end: a buffer learned over gossip is picked as the recovery
+    // point by compile_modes when no explicit buffer is given.
+    netsim::engine eng;
+    domain_directory daq_site(eng, cfg_for("daq-site"));
+    domain_directory wan_op(eng, cfg_for("wan-op"));
+    wan_op.publish(buffer_at(0x0a000010, "wan-edge-buffer"));
+    domain_directory::peer(daq_site, wan_op);
+    eng.run_until(sim_time{(500_ms).ns});
+
+    policy_inputs in;
+    in.experiment = 6;
+    in.segments = {
+        {path_segment::kind::daq, 1_us, data_rate::from_gbps(100), false, 0},
+        {path_segment::kind::wan, 10_ms, data_rate::from_gbps(100), true, 0x0a000010},
+    };
+    in.recovery_buffer = 0; // must come from the discovered map
+    const auto plan = compile_modes(in, daq_site.snapshot());
+    ASSERT_FALSE(plan.transitions.empty());
+    EXPECT_EQ(plan.transitions[0].rule.buffer_addr.value_or(0), 0x0a000010u);
+}

@@ -1,0 +1,109 @@
+// Unit tests for the DTN retransmission buffer.
+#include "dtn/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::dtn;
+using namespace mmtp::literals;
+
+namespace {
+
+buffered_datagram make_entry(std::uint64_t seq, std::uint32_t size = 1000,
+                             wire::experiment_id exp = 42, std::uint16_t epoch = 0)
+{
+    buffered_datagram d;
+    d.sequence = seq;
+    d.epoch = epoch;
+    d.experiment = exp;
+    d.size_bytes = size;
+    d.timestamp_ns = seq * 100;
+    return d;
+}
+
+} // namespace
+
+TEST(buffer, store_fetch_hit_and_miss)
+{
+    retransmission_buffer buf;
+    buf.store(make_entry(5), sim_time{0});
+    const auto hit = buf.fetch(42, 0, 5, sim_time{0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->sequence, 5u);
+    EXPECT_EQ(hit->timestamp_ns, 500u);
+    EXPECT_FALSE(buf.fetch(42, 0, 6, sim_time{0}).has_value());
+    EXPECT_FALSE(buf.fetch(43, 0, 5, sim_time{0}).has_value());
+    EXPECT_FALSE(buf.fetch(42, 1, 5, sim_time{0}).has_value());
+    EXPECT_EQ(buf.stats().hits, 1u);
+    EXPECT_EQ(buf.stats().misses, 3u);
+}
+
+TEST(buffer, fetch_range_returns_contiguous_present)
+{
+    retransmission_buffer buf;
+    for (std::uint64_t s : {1, 2, 3, 5, 6}) buf.store(make_entry(s), sim_time{0});
+    const auto got = buf.fetch_range(42, 0, 2, 5, sim_time{0});
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].sequence, 2u);
+    EXPECT_EQ(got[1].sequence, 3u);
+    EXPECT_EQ(got[2].sequence, 5u);
+}
+
+TEST(buffer, capacity_eviction_oldest_first)
+{
+    buffer_config cfg;
+    cfg.capacity_bytes = 2500;
+    retransmission_buffer buf(cfg);
+    buf.store(make_entry(1), sim_time{0});
+    buf.store(make_entry(2), sim_time{0});
+    buf.store(make_entry(3), sim_time{0}); // 3000 bytes: evict seq 1
+    EXPECT_EQ(buf.entries(), 2u);
+    EXPECT_FALSE(buf.fetch(42, 0, 1, sim_time{0}).has_value());
+    EXPECT_TRUE(buf.fetch(42, 0, 3, sim_time{0}).has_value());
+    EXPECT_EQ(buf.stats().evicted_capacity, 1u);
+    EXPECT_LE(buf.bytes_used(), cfg.capacity_bytes);
+}
+
+TEST(buffer, retention_eviction)
+{
+    buffer_config cfg;
+    cfg.retention = 1_s;
+    retransmission_buffer buf(cfg);
+    buf.store(make_entry(1), sim_time{0});
+    buf.store(make_entry(2), sim_time{(500_ms).ns});
+    // at t=1.2s, seq 1 is stale but seq 2 is not
+    EXPECT_FALSE(buf.fetch(42, 0, 1, sim_time{(1200_ms).ns}).has_value());
+    EXPECT_TRUE(buf.fetch(42, 0, 2, sim_time{(1200_ms).ns}).has_value());
+    EXPECT_EQ(buf.stats().evicted_retention, 1u);
+}
+
+TEST(buffer, replacement_same_key_updates_bytes)
+{
+    retransmission_buffer buf;
+    buf.store(make_entry(7, 1000), sim_time{0});
+    buf.store(make_entry(7, 2000), sim_time{0});
+    EXPECT_EQ(buf.entries(), 1u);
+    EXPECT_EQ(buf.bytes_used(), 2000u);
+    const auto hit = buf.fetch(42, 0, 7, sim_time{0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->size_bytes, 2000u);
+}
+
+TEST(buffer, streams_are_isolated_by_experiment)
+{
+    retransmission_buffer buf;
+    buf.store(make_entry(1, 100, 1), sim_time{0});
+    buf.store(make_entry(1, 100, 2), sim_time{0});
+    EXPECT_EQ(buf.entries(), 2u);
+    const auto r1 = buf.fetch_range(1, 0, 0, 10, sim_time{0});
+    ASSERT_EQ(r1.size(), 1u);
+    EXPECT_EQ(r1[0].experiment, 1u);
+}
+
+TEST(buffer, peak_bytes_tracked)
+{
+    retransmission_buffer buf;
+    buf.store(make_entry(1, 3000), sim_time{0});
+    buf.store(make_entry(2, 1000), sim_time{0});
+    EXPECT_EQ(buf.stats().peak_bytes, 4000u);
+}

@@ -1,0 +1,104 @@
+// Integration tests for the status-quo pipeline (Fig. 2): UDP inside the
+// DAQ network, tuned TCP across the WAN, TCP relay toward the campus.
+#include "scenario/today.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::scenario;
+using namespace mmtp::literals;
+
+TEST(today, udp_ingest_counts_daq_bytes)
+{
+    today_config cfg;
+    auto tb = make_today(cfg);
+    daq::steady_source src(wire::make_experiment_id(wire::experiments::dune, 0), 5000,
+                           10_us, sim_time{0}, 200);
+    const auto scheduled = tb->drive_sensor(src);
+    tb->net.sim().run();
+    EXPECT_EQ(scheduled, 200u * 5000u);
+    EXPECT_EQ(tb->dtn1_received_bytes, scheduled);
+    EXPECT_EQ(tb->dtn1_received_datagrams, 200u);
+}
+
+TEST(today, tcp_wan_transfer_with_relay_to_campus)
+{
+    today_config cfg;
+    cfg.wan_delay = 5_ms;
+    auto tb = make_today(cfg);
+
+    // storage listens; campus listens; a relay at storage forwards
+    tcp::connection* at_storage = nullptr;
+    tb->storage_tcp->listen(today_testbed::storage_port, tb->wan_tcp_config(),
+                            [&](tcp::connection& c) { at_storage = &c; });
+    tcp::connection* at_campus = nullptr;
+    tb->campus_tcp->listen(today_testbed::campus_port, tb->campus_tcp_config(),
+                           [&](tcp::connection& c) { at_campus = &c; });
+
+    auto& wan_conn = tb->dtn1_tcp->connect(tb->storage->address(),
+                                           today_testbed::storage_port,
+                                           tb->wan_tcp_config());
+    const std::uint64_t total = 10 * 1000 * 1000;
+    std::uint64_t queued = 0;
+    auto pump = [&] {
+        if (queued < total) queued += wan_conn.send(total - queued);
+    };
+    wan_conn.set_on_connected(pump);
+    wan_conn.set_on_writable(pump);
+
+    // once the storage connection exists, stitch the relay
+    std::unique_ptr<tcp_relay> relay;
+    tcp::connection* campus_conn = nullptr;
+    tb->net.sim().run_until(sim_time{(50_ms).ns});
+    ASSERT_NE(at_storage, nullptr);
+    campus_conn = &tb->storage_tcp->connect(tb->campus->address(),
+                                            today_testbed::campus_port,
+                                            tb->campus_tcp_config());
+    relay = std::make_unique<tcp_relay>(*at_storage, *campus_conn);
+    tb->net.sim().run();
+
+    ASSERT_NE(at_campus, nullptr);
+    EXPECT_EQ(at_storage->delivered_bytes(), total);
+    EXPECT_EQ(relay->relayed(), total);
+    EXPECT_EQ(at_campus->delivered_bytes(), total);
+}
+
+TEST(today, wan_loss_still_reliable_but_slower)
+{
+    const std::uint64_t total = 4 * 1000 * 1000;
+    double clean_secs = 0, lossy_secs = 0;
+    for (const double loss : {0.0, 0.01}) {
+        today_config cfg;
+        cfg.wan_delay = 10_ms;
+        cfg.wan_loss = loss;
+        auto tb = make_today(cfg);
+        tcp::connection* at_storage = nullptr;
+        sim_time done = sim_time::never();
+        tb->storage_tcp->listen(today_testbed::storage_port, tb->wan_tcp_config(),
+                                [&](tcp::connection& c) {
+                                    at_storage = &c;
+                                    c.set_on_delivered([&](std::uint64_t got) {
+                                        if (got >= total && done.is_never())
+                                            done = tb->net.sim().now();
+                                    });
+                                });
+        auto& conn = tb->dtn1_tcp->connect(tb->storage->address(),
+                                           today_testbed::storage_port,
+                                           tb->wan_tcp_config());
+        std::uint64_t queued = 0;
+        auto pump = [&] {
+            if (queued < total) queued += conn.send(total - queued);
+        };
+        conn.set_on_connected(pump);
+        conn.set_on_writable(pump);
+        tb->net.sim().run();
+        ASSERT_NE(at_storage, nullptr);
+        ASSERT_EQ(at_storage->delivered_bytes(), total) << "loss=" << loss;
+        ASSERT_FALSE(done.is_never());
+        if (loss == 0.0)
+            clean_secs = sim_duration{done.ns}.seconds();
+        else
+            lossy_secs = sim_duration{done.ns}.seconds();
+    }
+    EXPECT_GT(lossy_secs, clean_secs); // loss costs time end-to-end
+}

@@ -1,0 +1,432 @@
+// Unit/functional tests for the MMTP core: stack demux, sender (modes,
+// fragmentation, pacing, backpressure reaction), receiver (delivery,
+// duplicates, NAK-based recovery), and the DTN buffer service.
+#include "mmtp/buffer_service.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/sender.hpp"
+#include "mmtp/stack.hpp"
+#include "netsim/network.hpp"
+#include "pnet/stages.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::core;
+using namespace mmtp::netsim;
+using namespace mmtp::literals;
+
+namespace {
+
+daq::daq_message make_msg(std::uint64_t seq, std::uint32_t size, std::uint64_t ts_ns = 0,
+                          std::uint32_t experiment = wire::experiments::iceberg)
+{
+    daq::daq_message m;
+    m.experiment = wire::make_experiment_id(experiment, 0);
+    m.sequence = seq;
+    m.timestamp_ns = ts_ns;
+    m.size_bytes = size;
+    return m;
+}
+
+/// host pair with MMTP stacks on both ends.
+struct mmtp_pair {
+    network net;
+    host* a;
+    host* b;
+    std::unique_ptr<stack> sa;
+    std::unique_ptr<stack> sb;
+
+    explicit mmtp_pair(link_config cfg = {}, std::uint64_t seed = 21) : net(seed)
+    {
+        a = &net.add_host("a");
+        b = &net.add_host("b");
+        net.connect(*a, *b, cfg);
+        net.compute_routes();
+        sa = std::make_unique<stack>(*a, net.ids());
+        sb = std::make_unique<stack>(*b, net.ids());
+    }
+};
+
+} // namespace
+
+// ----------------------------------------------------------------- stack
+
+TEST(mmtp_stack, data_and_control_demux)
+{
+    mmtp_pair t;
+    int data = 0, naks = 0;
+    t.sb->set_data_sink([&](delivered_datagram&&) { data++; });
+    t.sb->set_nak_handler(
+        [&](const wire::nak_body&, wire::experiment_id, wire::ipv4_addr) { naks++; });
+
+    wire::header h;
+    h.experiment = 5;
+    t.sa->send_datagram(t.b->address(), h, {}, 100);
+
+    wire::nak_body nak;
+    nak.requester = t.a->address();
+    nak.ranges = {{1, 2}};
+    byte_writer w;
+    serialize(nak, w);
+    t.sa->send_control(t.b->address(), 5, wire::control_type::nak, w.take());
+
+    t.net.sim().run();
+    EXPECT_EQ(data, 1);
+    EXPECT_EQ(naks, 1);
+    EXPECT_EQ(t.sb->stats().data_in, 1u);
+    EXPECT_EQ(t.sb->stats().control_in, 1u);
+}
+
+TEST(mmtp_stack, l2_datagrams_reach_sink)
+{
+    mmtp_pair t;
+    int got = 0;
+    t.sb->set_data_sink([&](delivered_datagram&& d) {
+        got++;
+        EXPECT_TRUE(d.over_l2);
+    });
+    wire::header h;
+    h.experiment = 9;
+    t.sa->send_datagram_l2(0, h, {}, 50);
+    t.net.sim().run();
+    EXPECT_EQ(got, 1);
+}
+
+// ---------------------------------------------------------------- sender
+
+TEST(mmtp_sender, fragments_large_messages)
+{
+    mmtp_pair t;
+    std::uint64_t datagrams = 0, bytes = 0;
+    t.sb->set_data_sink([&](delivered_datagram&& d) {
+        datagrams++;
+        bytes += d.total_payload_bytes;
+        EXPECT_LE(d.total_payload_bytes, 8192u);
+        ASSERT_TRUE(d.hdr.timestamp_ns.has_value());
+        EXPECT_EQ(*d.hdr.timestamp_ns, 777u);
+    });
+    sender_config cfg;
+    sender tx(*t.sa, t.b->address(), cfg);
+    tx.send_message(make_msg(0, 20000, 777));
+    t.net.sim().run();
+    EXPECT_EQ(datagrams, 3u); // 8192 + 8192 + 3616
+    EXPECT_EQ(bytes, 20000u);
+    EXPECT_EQ(tx.stats().messages, 1u);
+    EXPECT_EQ(tx.stats().datagrams, 3u);
+}
+
+TEST(mmtp_sender, inline_payload_rides_in_first_fragments)
+{
+    mmtp_pair t;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    t.sb->set_data_sink(
+        [&](delivered_datagram&& d) { payloads.push_back(std::move(d.payload)); });
+    sender_config cfg;
+    cfg.max_datagram_payload = 4;
+    sender tx(*t.sa, t.b->address(), cfg);
+    auto m = make_msg(0, 10);
+    m.inline_payload = {1, 2, 3, 4, 5, 6};
+    tx.send_message(m);
+    t.net.sim().run();
+    ASSERT_EQ(payloads.size(), 3u);
+    EXPECT_EQ(payloads[0], (std::vector<std::uint8_t>{1, 2, 3, 4}));
+    EXPECT_EQ(payloads[1], (std::vector<std::uint8_t>{5, 6}));
+    EXPECT_TRUE(payloads[2].empty()); // all-virtual tail
+}
+
+TEST(mmtp_sender, pacing_spreads_datagrams)
+{
+    mmtp_pair t;
+    std::vector<sim_time> arrivals;
+    t.sb->set_data_sink(
+        [&](delivered_datagram&& d) { arrivals.push_back(d.received); });
+    sender_config cfg;
+    cfg.pace = data_rate::from_mbps(80); // 8000-byte datagrams: 800 us each
+    cfg.max_datagram_payload = 8000;
+    sender tx(*t.sa, t.b->address(), cfg);
+    for (int i = 0; i < 4; ++i) tx.send_message(make_msg(i, 8000));
+    t.net.sim().run();
+    ASSERT_EQ(arrivals.size(), 4u);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        const auto gap = arrivals[i] - arrivals[i - 1];
+        EXPECT_NEAR(static_cast<double>(gap.ns), 800e3, 50e3) << i;
+    }
+}
+
+TEST(mmtp_sender, backpressure_scales_pace_down_then_recovers)
+{
+    mmtp_pair t;
+    sender_config cfg;
+    cfg.pace = data_rate::from_mbps(100);
+    cfg.backpressure_hold = 10_ms;
+    cfg.min_pace_fraction = 0.1;
+    sender tx(*t.sa, t.b->address(), cfg);
+
+    EXPECT_EQ(tx.effective_pace().bits_per_sec, 100000000u);
+
+    // deliver a backpressure control message to host a
+    wire::backpressure_body bp;
+    bp.level = 255;
+    byte_writer w;
+    serialize(bp, w);
+    t.sb->send_control(t.a->address(), 0, wire::control_type::backpressure, w.take());
+    t.net.sim().run();
+
+    EXPECT_EQ(tx.stats().backpressure_signals, 1u);
+    EXPECT_NEAR(static_cast<double>(tx.effective_pace().bits_per_sec), 10000000.0, 1e6);
+
+    // after the hold expires, the pace recovers
+    t.net.sim().run_until(t.net.sim().now() + 20_ms);
+    EXPECT_EQ(tx.effective_pace().bits_per_sec, 100000000u);
+}
+
+TEST(mmtp_sender, drive_schedules_source_messages)
+{
+    mmtp_pair t;
+    std::uint64_t got = 0;
+    t.sb->set_data_sink([&](delivered_datagram&&) { got++; });
+    sender_config cfg;
+    sender tx(*t.sa, t.b->address(), cfg);
+    daq::steady_source src(wire::make_experiment_id(6, 0), 1000, 10_us, sim_time{0}, 25);
+    EXPECT_EQ(tx.drive(src), 25u);
+    t.net.sim().run();
+    EXPECT_EQ(got, 25u);
+}
+
+// -------------------------------------------------------------- receiver
+
+namespace {
+
+/// a → b where a runs a buffer service (with local sequencing) and b a
+/// receiver; loss injected on the a→b link only.
+struct recovery_rig {
+    network net;
+    host* src;
+    host* dst;
+    std::unique_ptr<stack> s_src;
+    std::unique_ptr<stack> s_dst;
+    std::unique_ptr<buffer_service> svc;
+    std::unique_ptr<receiver> rx;
+
+    explicit recovery_rig(double loss, std::uint64_t seed = 33,
+                          receiver_config rcfg = {})
+        : net(seed)
+    {
+        src = &net.add_host("src");
+        dst = &net.add_host("dst");
+        link_config forward;
+        forward.rate = data_rate::from_gbps(10);
+        forward.propagation = 500_us;
+        forward.drop_probability = loss;
+        net.connect_simplex(*src, *dst, forward);
+        link_config back = forward;
+        back.drop_probability = 0.0; // NAKs themselves survive
+        net.connect_simplex(*dst, *src, back);
+        net.compute_routes();
+
+        s_src = std::make_unique<stack>(*src, net.ids());
+        s_dst = std::make_unique<stack>(*dst, net.ids());
+
+        buffer_service_config bcfg;
+        bcfg.next_hop = dst->address();
+        bcfg.assign_sequence_locally = true;
+        svc = std::make_unique<buffer_service>(*s_src, bcfg);
+
+        rcfg.nak_retry = 3_ms;
+        rx = std::make_unique<receiver>(*s_dst, rcfg);
+    }
+
+    /// Injects `n` messages into the buffer service as if they had
+    /// arrived from a sensor.
+    void feed(std::uint64_t n, std::uint32_t size = 1000)
+    {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            delivered_datagram d;
+            d.hdr.experiment = wire::make_experiment_id(wire::experiments::iceberg, 0);
+            d.hdr.m.set(wire::feature::timestamped);
+            d.hdr.timestamp_ns = static_cast<std::uint64_t>(net.sim().now().ns);
+            d.total_payload_bytes = size;
+            svc->relay(d);
+        }
+    }
+};
+
+} // namespace
+
+TEST(mmtp_receiver, lossless_delivery_no_naks)
+{
+    recovery_rig rig(0.0);
+    rig.feed(100);
+    rig.net.sim().run();
+    EXPECT_EQ(rig.rx->stats().datagrams, 100u);
+    EXPECT_EQ(rig.rx->stats().naks_sent, 0u);
+    EXPECT_EQ(rig.rx->stats().duplicates, 0u);
+    EXPECT_EQ(rig.rx->outstanding_gaps(), 0u);
+}
+
+TEST(mmtp_receiver, recovers_all_loss_from_buffer)
+{
+    recovery_rig rig(0.05); // 5% loss
+    rig.feed(1000);
+    rig.net.sim().run();
+    // everything eventually delivered exactly once
+    EXPECT_EQ(rig.rx->stats().datagrams, 1000u);
+    EXPECT_GT(rig.rx->stats().recovered, 10u);
+    EXPECT_GT(rig.rx->stats().naks_sent, 0u);
+    EXPECT_EQ(rig.rx->stats().given_up, 0u);
+    EXPECT_EQ(rig.rx->outstanding_gaps(), 0u);
+    EXPECT_EQ(rig.svc->stats().nak_requests, rig.rx->stats().naks_sent);
+    EXPECT_EQ(rig.svc->stats().unavailable, 0u);
+}
+
+TEST(mmtp_receiver, recovery_latency_scales_with_buffer_rtt)
+{
+    recovery_rig rig(0.05);
+    rig.feed(1000);
+    rig.net.sim().run();
+    // RTT to buffer is ~1 ms; recovery should take a few ms (grace +
+    // RTT), not the tens of ms an end-to-end scheme would need.
+    const auto p50 = rig.rx->stats().recovery_latency_us.percentile(50);
+    EXPECT_GT(p50, 500u);
+    EXPECT_LT(p50, 20000u);
+}
+
+TEST(mmtp_receiver, gives_up_when_buffer_cannot_help)
+{
+    // Buffer with zero retention: NAKs find nothing; receiver abandons
+    // after max attempts and reports the loss.
+    network net(44);
+    auto& src = net.add_host("src");
+    auto& dst = net.add_host("dst");
+    link_config fwd;
+    fwd.propagation = 100_us;
+    net.connect(src, dst, fwd);
+    net.compute_routes();
+    stack s_src(src, net.ids());
+    stack s_dst(dst, net.ids());
+
+    buffer_service_config bcfg;
+    bcfg.next_hop = dst.address();
+    bcfg.assign_sequence_locally = true;
+    bcfg.buffer.retention = sim_duration{0}; // nothing survives
+    buffer_service svc(s_src, bcfg);
+
+    receiver_config rcfg;
+    rcfg.nak_retry = 1_ms;
+    rcfg.max_nak_attempts = 3;
+    receiver rx(s_dst, rcfg);
+    std::vector<std::uint64_t> lost;
+    rx.set_on_loss([&](wire::experiment_id, std::uint16_t, std::uint64_t s) {
+        lost.push_back(s);
+    });
+
+    // Manually deliver sequence 0 and 2, skipping 1 (simulated loss).
+    for (std::uint64_t s : {0ull, 1ull, 2ull}) {
+        delivered_datagram d;
+        d.hdr.experiment = wire::make_experiment_id(6, 0);
+        d.total_payload_bytes = 100;
+        svc.relay(d);
+        (void)s;
+    }
+    // drop the middle relayed packet by intercepting: easier — use the
+    // fact that zero-retention buffer can't retransmit; force a gap by
+    // delivering a crafted out-of-order datagram instead:
+    net.sim().run();
+    // All three arrived (no link loss), so no gap and no give-up.
+    EXPECT_EQ(rx.stats().given_up, 0u);
+
+    // Now inject a datagram with a sequence that leaves a gap (seq 5).
+    wire::header h;
+    h.experiment = wire::make_experiment_id(6, 0);
+    h.m.set(wire::feature::sequencing).set(wire::feature::retransmission);
+    h.sequencing = wire::sequencing_field{5, 0};
+    h.retransmission = wire::retransmission_field{src.address()};
+    s_src.send_datagram(dst.address(), h, {}, 100);
+    net.sim().run();
+    // gaps 3..4 were NAKed 3 times, buffer had nothing, receiver gave up
+    EXPECT_EQ(rx.stats().given_up, 2u);
+    EXPECT_EQ((std::vector<std::uint64_t>{3, 4}), lost);
+    EXPECT_GT(svc.stats().unavailable, 0u);
+}
+
+TEST(mmtp_receiver, duplicate_datagrams_counted_not_delivered_twice)
+{
+    mmtp_pair t;
+    receiver rx(*t.sb);
+    int delivered = 0;
+    rx.set_on_datagram([&](const delivered_datagram&) { delivered++; });
+
+    wire::header h;
+    h.experiment = wire::make_experiment_id(6, 0);
+    h.m.set(wire::feature::sequencing);
+    h.sequencing = wire::sequencing_field{0, 0};
+    t.sa->send_datagram(t.b->address(), h, {}, 100);
+    t.sa->send_datagram(t.b->address(), h, {}, 100); // same sequence again
+    t.net.sim().run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(rx.stats().duplicates, 1u);
+}
+
+TEST(mmtp_receiver, destination_timeliness_check)
+{
+    link_config slow_path;
+    slow_path.propagation = 5_ms; // transit clearly exceeds the budget
+    mmtp_pair t(slow_path);
+    receiver rx(*t.sb);
+
+    wire::header h;
+    h.experiment = wire::make_experiment_id(6, 0);
+    h.m.set(wire::feature::timeliness).set(wire::feature::timestamped);
+    wire::timeliness_field tf;
+    tf.deadline_us = 1; // 1 us budget: will be exceeded in flight
+    h.timeliness = tf;
+    h.timestamp_ns = 0;
+    t.sa->send_datagram(t.b->address(), h, {}, 100);
+    t.net.sim().run();
+    EXPECT_EQ(rx.stats().datagrams, 1u);
+    EXPECT_EQ(rx.stats().aged_on_arrival, 1u);
+    EXPECT_GT(rx.stats().age_us.max(), 0u);
+}
+
+// --------------------------------------------------------- buffer service
+
+TEST(buffer_service, relays_and_buffers)
+{
+    recovery_rig rig(0.0);
+    rig.feed(10, 2000);
+    rig.net.sim().run();
+    EXPECT_EQ(rig.svc->stats().relayed, 10u);
+    EXPECT_EQ(rig.svc->stats().relayed_bytes, 20000u);
+    EXPECT_EQ(rig.svc->buffer().entries(), 10u);
+    EXPECT_EQ(rig.rx->stats().datagrams, 10u);
+}
+
+TEST(buffer_service, local_sequencing_is_contiguous_per_experiment)
+{
+    recovery_rig rig(0.0);
+    std::vector<std::uint64_t> seqs;
+    rig.rx->set_on_datagram([&](const delivered_datagram& d) {
+        ASSERT_TRUE(d.hdr.sequencing.has_value());
+        seqs.push_back(d.hdr.sequencing->sequence);
+    });
+    rig.feed(5);
+    rig.net.sim().run();
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(buffer_service, advertises_buffer)
+{
+    mmtp_pair t;
+    int adverts = 0;
+    t.sb->set_advert_handler([&](const wire::buffer_advert_body& b) {
+        adverts++;
+        EXPECT_EQ(b.buffer_addr, t.a->address());
+        EXPECT_GT(b.capacity_bytes, 0u);
+    });
+    buffer_service_config bcfg;
+    bcfg.next_hop = t.b->address();
+    buffer_service svc(*t.sa, bcfg);
+    svc.advertise(t.b->address());
+    t.net.sim().run();
+    EXPECT_EQ(adverts, 1);
+}

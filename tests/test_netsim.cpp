@@ -1,0 +1,330 @@
+// Unit tests for src/netsim: engine ordering, link timing/loss, queue
+// disciplines, host demux and network routing.
+#include "netsim/engine.hpp"
+#include "netsim/host.hpp"
+#include "netsim/link.hpp"
+#include "netsim/network.hpp"
+#include "netsim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::netsim;
+using namespace mmtp::literals;
+
+// ----------------------------------------------------------------- engine
+
+TEST(engine, executes_in_time_order)
+{
+    engine e;
+    std::vector<int> order;
+    e.schedule_at(sim_time{300}, [&] { order.push_back(3); });
+    e.schedule_at(sim_time{100}, [&] { order.push_back(1); });
+    e.schedule_at(sim_time{200}, [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now().ns, 300);
+}
+
+TEST(engine, same_time_fifo_order)
+{
+    engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        e.schedule_at(sim_time{50}, [&order, i] { order.push_back(i); });
+    e.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(engine, schedule_in_relative)
+{
+    engine e;
+    sim_time seen{};
+    e.schedule_in(5_us, [&] { seen = e.now(); });
+    e.run();
+    EXPECT_EQ(seen.ns, 5000);
+}
+
+TEST(engine, nested_scheduling)
+{
+    engine e;
+    int hits = 0;
+    std::function<void()> chain = [&] {
+        if (++hits < 5) e.schedule_in(1_us, chain);
+    };
+    e.schedule_in(1_us, chain);
+    e.run();
+    EXPECT_EQ(hits, 5);
+    EXPECT_EQ(e.now().ns, 5000);
+}
+
+TEST(engine, run_until_stops)
+{
+    engine e;
+    int hits = 0;
+    e.schedule_at(sim_time{100}, [&] { hits++; });
+    e.schedule_at(sim_time{200}, [&] { hits++; });
+    e.run_until(sim_time{150});
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(e.now().ns, 150);
+    EXPECT_EQ(e.pending(), 1u);
+    e.run();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(engine, past_schedule_clamped_to_now)
+{
+    engine e;
+    e.schedule_at(sim_time{100}, [&] {
+        bool ran = false;
+        e.schedule_at(sim_time{50}, [&ran] { ran = true; });
+        // runs at now(), not in the past
+    });
+    e.run();
+    EXPECT_EQ(e.now().ns, 100);
+}
+
+// ----------------------------------------------------------------- queues
+
+static packet make_pkt(std::uint64_t id, std::uint64_t size)
+{
+    packet p;
+    p.id = id;
+    p.virtual_payload = size;
+    return p;
+}
+
+TEST(drop_tail_queue, fifo_order_and_capacity)
+{
+    drop_tail_queue q(1000);
+    EXPECT_TRUE(q.enqueue(make_pkt(1, 400)));
+    EXPECT_TRUE(q.enqueue(make_pkt(2, 400)));
+    EXPECT_FALSE(q.enqueue(make_pkt(3, 400))); // over capacity
+    EXPECT_EQ(q.stats().dropped, 1u);
+    EXPECT_EQ(q.byte_depth(), 800u);
+    auto a = q.dequeue();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->id, 1u);
+    EXPECT_TRUE(q.enqueue(make_pkt(4, 400))); // room again
+    EXPECT_EQ(q.dequeue()->id, 2u);
+    EXPECT_EQ(q.dequeue()->id, 4u);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(priority_queue_disc, strict_priority)
+{
+    // classify odd ids into band 0, even into band 1
+    priority_queue_disc q(2, 10000, [](const packet& p) {
+        return p.id % 2 == 1 ? 0u : 1u;
+    });
+    q.enqueue(make_pkt(2, 100));
+    q.enqueue(make_pkt(4, 100));
+    q.enqueue(make_pkt(1, 100));
+    q.enqueue(make_pkt(3, 100));
+    EXPECT_EQ(q.dequeue()->id, 1u);
+    EXPECT_EQ(q.dequeue()->id, 3u);
+    EXPECT_EQ(q.dequeue()->id, 2u);
+    EXPECT_EQ(q.dequeue()->id, 4u);
+}
+
+TEST(priority_queue_disc, per_band_capacity)
+{
+    priority_queue_disc q(2, 150, [](const packet& p) { return p.id % 2 == 1 ? 0u : 1u; });
+    EXPECT_TRUE(q.enqueue(make_pkt(1, 100)));
+    EXPECT_FALSE(q.enqueue(make_pkt(3, 100))); // band 0 full
+    EXPECT_TRUE(q.enqueue(make_pkt(2, 100)));  // band 1 has its own budget
+    EXPECT_EQ(q.band_depth_bytes(0), 100u);
+    EXPECT_EQ(q.band_depth_bytes(1), 100u);
+}
+
+// ----------------------------------------------------- link + host timing
+
+namespace {
+
+/// Minimal sink node that records arrivals.
+class sink_node final : public node {
+public:
+    using node::node;
+    void receive(packet&& p, unsigned) override
+    {
+        arrivals.push_back({eng_.now(), p.id, p.corrupted});
+    }
+    struct arrival {
+        sim_time at;
+        std::uint64_t id;
+        bool corrupted;
+    };
+    std::vector<arrival> arrivals;
+};
+
+} // namespace
+
+TEST(link, serialization_plus_propagation_timing)
+{
+    network net(1);
+    auto& sink = net.emplace<sink_node>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(10); // 0.8 ns per byte
+    cfg.propagation = 2_us;
+    const auto port = net.connect_simplex(src, sink, cfg);
+
+    packet p = make_pkt(7, 1250); // 1 us serialization at 10 Gbps
+    src.egress(port).send(std::move(p));
+    net.sim().run();
+    ASSERT_EQ(sink.arrivals.size(), 1u);
+    EXPECT_EQ(sink.arrivals[0].at.ns, 1000 + 2000);
+}
+
+TEST(link, back_to_back_packets_serialize_sequentially)
+{
+    network net(1);
+    auto& sink = net.emplace<sink_node>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(10);
+    cfg.propagation = sim_duration::zero();
+    const auto port = net.connect_simplex(src, sink, cfg);
+
+    src.egress(port).send(make_pkt(1, 1250));
+    src.egress(port).send(make_pkt(2, 1250));
+    net.sim().run();
+    ASSERT_EQ(sink.arrivals.size(), 2u);
+    EXPECT_EQ(sink.arrivals[0].at.ns, 1000);
+    EXPECT_EQ(sink.arrivals[1].at.ns, 2000); // waited for the first
+}
+
+TEST(link, mtu_enforced)
+{
+    network net(1);
+    auto& sink = net.emplace<sink_node>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.mtu = 1500;
+    const auto port = net.connect_simplex(src, sink, cfg);
+    src.egress(port).send(make_pkt(1, 2000));
+    net.sim().run();
+    EXPECT_TRUE(sink.arrivals.empty());
+    EXPECT_EQ(src.egress(port).stats().dropped_oversize, 1u);
+}
+
+TEST(link, random_drop_rate_approximate)
+{
+    network net(99);
+    auto& sink = net.emplace<sink_node>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(100);
+    cfg.drop_probability = 0.2;
+    cfg.queue_capacity_bytes = 1ull << 30;
+    const auto port = net.connect_simplex(src, sink, cfg);
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) src.egress(port).send(make_pkt(i, 100));
+    net.sim().run();
+    const double delivered = static_cast<double>(sink.arrivals.size()) / n;
+    EXPECT_NEAR(delivered, 0.8, 0.03);
+}
+
+TEST(link, corruption_marks_but_delivers)
+{
+    network net(5);
+    auto& sink = net.emplace<sink_node>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.bit_error_rate = 1e-5; // 8000-bit packet -> ~8% corruption
+    cfg.queue_capacity_bytes = 1ull << 30;
+    const auto port = net.connect_simplex(src, sink, cfg);
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) src.egress(port).send(make_pkt(i, 1000));
+    net.sim().run();
+    EXPECT_EQ(sink.arrivals.size(), static_cast<std::size_t>(n)); // all delivered
+    std::size_t corrupted = 0;
+    for (const auto& a : sink.arrivals)
+        if (a.corrupted) corrupted++;
+    EXPECT_NEAR(static_cast<double>(corrupted) / n, 0.077, 0.03);
+}
+
+// ------------------------------------------------------- host + routing
+
+TEST(host, corrupted_packets_dropped_at_host)
+{
+    network net(1);
+    auto& a = net.add_host("a");
+    auto& b = net.add_host("b");
+    net.connect(a, b, link_config{});
+    net.compute_routes();
+
+    packet p = a.make_ipv4_packet(200, b.address());
+    p.corrupted = true;
+    // deliver directly (bypassing the link's corruption process)
+    b.receive(std::move(p), 0);
+    EXPECT_EQ(b.drops().corrupted, 1u);
+}
+
+TEST(host, protocol_demux_and_not_mine)
+{
+    network net(1);
+    auto& a = net.add_host("a");
+    auto& b = net.add_host("b");
+    net.connect(a, b, link_config{});
+    net.compute_routes();
+
+    int got = 0;
+    b.set_protocol_handler(111, [&](packet&&, const wire::ipv4_header& ip, std::size_t) {
+        got++;
+        EXPECT_EQ(ip.protocol, 111);
+    });
+
+    auto p = a.make_ipv4_packet(111, b.address());
+    a.send_ipv4(std::move(p), b.address());
+    // a packet not addressed to b
+    auto p2 = a.make_ipv4_packet(111, 0x01020304);
+    a.send_ipv4(std::move(p2), b.address()); // force out same port
+    net.sim().run();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(b.drops().not_mine, 1u);
+
+    // unclaimed protocol
+    auto p3 = a.make_ipv4_packet(222, b.address());
+    a.send_ipv4(std::move(p3), b.address());
+    net.sim().run();
+    EXPECT_EQ(b.drops().unclaimed, 1u);
+}
+
+TEST(host, unroutable_counted)
+{
+    network net(1);
+    auto& a = net.add_host("a");
+    auto p = a.make_ipv4_packet(6, 0x0a0000ff);
+    a.send_ipv4(std::move(p), 0x0a0000ff);
+    EXPECT_EQ(a.drops().unroutable, 1u);
+}
+
+TEST(network, shortest_path_routing_across_chain)
+{
+    network net(1);
+    auto& a = net.add_host("a");
+    auto& m1 = net.emplace<sink_node>("m1"); // not used for forwarding here
+    (void)m1;
+    auto& b = net.add_host("b");
+    auto& c = net.add_host("c");
+    net.connect(a, b, link_config{});
+    net.connect(b, c, link_config{});
+    net.compute_routes();
+
+    // a reaches c via b (port toward b)
+    EXPECT_NE(a.route(c.address()), no_port);
+    EXPECT_EQ(a.route(c.address()), a.route(b.address()));
+    EXPECT_EQ(a.route(0xdeadbeef), no_port);
+}
+
+TEST(network, addresses_unique_and_resolvable)
+{
+    network net(1);
+    auto& a = net.add_host("a");
+    auto& b = net.add_host("b");
+    EXPECT_NE(a.address(), b.address());
+    EXPECT_EQ(net.find("a"), &a);
+    EXPECT_EQ(net.find_addr(b.address()), &b);
+    EXPECT_EQ(net.find("zzz"), nullptr);
+}

@@ -1,0 +1,106 @@
+// Unit tests for the UDP baseline stack.
+#include "netsim/network.hpp"
+#include "udp/udp.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::netsim;
+
+namespace {
+
+struct udp_pair {
+    network net{1};
+    host* a;
+    host* b;
+    std::unique_ptr<udp::stack> sa;
+    std::unique_ptr<udp::stack> sb;
+
+    explicit udp_pair(link_config cfg = {})
+    {
+        a = &net.add_host("a");
+        b = &net.add_host("b");
+        net.connect(*a, *b, cfg);
+        net.compute_routes();
+        sa = std::make_unique<udp::stack>(*a, net.ids());
+        sb = std::make_unique<udp::stack>(*b, net.ids());
+    }
+};
+
+} // namespace
+
+TEST(udp, send_receive_with_content)
+{
+    udp_pair t;
+    auto& tx = t.sa->open(1111);
+    auto& rx = t.sb->open(2222);
+
+    std::vector<udp::datagram> got;
+    rx.set_on_receive([&](udp::datagram&& d) { got.push_back(std::move(d)); });
+
+    tx.send_to(t.b->address(), 2222, {1, 2, 3, 4, 5});
+    t.net.sim().run();
+
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(got[0].total_payload_bytes, 5u);
+    EXPECT_EQ(got[0].src, t.a->address());
+    EXPECT_EQ(got[0].src_port, 1111);
+}
+
+TEST(udp, virtual_payload_counts_in_size_only)
+{
+    udp_pair t;
+    auto& tx = t.sa->open(1111);
+    auto& rx = t.sb->open(2222);
+    std::uint64_t total = 0;
+    rx.set_on_receive([&](udp::datagram&& d) { total = d.total_payload_bytes; });
+    tx.send_to(t.b->address(), 2222, {9, 9}, 5000);
+    t.net.sim().run();
+    EXPECT_EQ(total, 5002u);
+}
+
+TEST(udp, port_demux_unknown_port_dropped)
+{
+    udp_pair t;
+    auto& tx = t.sa->open(1111);
+    auto& rx = t.sb->open(2222);
+    int got = 0;
+    rx.set_on_receive([&](udp::datagram&&) { got++; });
+    tx.send_to(t.b->address(), 3333, {1}); // nobody listens on 3333
+    tx.send_to(t.b->address(), 2222, {1});
+    t.net.sim().run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(udp, no_reliability_on_lossy_link)
+{
+    link_config cfg;
+    cfg.drop_probability = 0.5;
+    udp_pair t(cfg);
+    auto& tx = t.sa->open(1111);
+    auto& rx = t.sb->open(2222);
+    int got = 0;
+    rx.set_on_receive([&](udp::datagram&&) { got++; });
+    for (int i = 0; i < 1000; ++i) tx.send_to(t.b->address(), 2222, {}, 100);
+    t.net.sim().run();
+    EXPECT_GT(got, 350);
+    EXPECT_LT(got, 650); // no retransmission: about half arrive
+    EXPECT_EQ(tx.stats().sent, 1000u);
+    EXPECT_EQ(rx.stats().received, static_cast<std::uint64_t>(got));
+}
+
+TEST(udp, corrupted_datagrams_never_surface)
+{
+    link_config cfg;
+    cfg.bit_error_rate = 1e-4; // ~55% corruption for 700-byte packets
+    udp_pair t(cfg);
+    auto& tx = t.sa->open(1111);
+    auto& rx = t.sb->open(2222);
+    int got = 0;
+    rx.set_on_receive([&](udp::datagram&&) { got++; });
+    for (int i = 0; i < 500; ++i) tx.send_to(t.b->address(), 2222, {}, 700);
+    t.net.sim().run();
+    EXPECT_LT(got, 400);
+    EXPECT_EQ(t.b->drops().corrupted, 500u - static_cast<std::uint64_t>(got));
+}
