@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cc.dir/bench_ablation_cc.cpp.o"
+  "CMakeFiles/bench_ablation_cc.dir/bench_ablation_cc.cpp.o.d"
+  "bench_ablation_cc"
+  "bench_ablation_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_alert_fanout.dir/bench_claim_alert_fanout.cpp.o"
+  "CMakeFiles/bench_claim_alert_fanout.dir/bench_claim_alert_fanout.cpp.o.d"
+  "bench_claim_alert_fanout"
+  "bench_claim_alert_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_alert_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim_alert_fanout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim_fct_recovery.
+# This may be replaced when dependencies are built.

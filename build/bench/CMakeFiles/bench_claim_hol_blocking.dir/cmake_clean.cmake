@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_hol_blocking.dir/bench_claim_hol_blocking.cpp.o"
+  "CMakeFiles/bench_claim_hol_blocking.dir/bench_claim_hol_blocking.cpp.o.d"
+  "bench_claim_hol_blocking"
+  "bench_claim_hol_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_hol_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

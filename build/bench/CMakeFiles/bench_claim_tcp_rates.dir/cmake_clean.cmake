@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_tcp_rates.dir/bench_claim_tcp_rates.cpp.o"
+  "CMakeFiles/bench_claim_tcp_rates.dir/bench_claim_tcp_rates.cpp.o.d"
+  "bench_claim_tcp_rates"
+  "bench_claim_tcp_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_tcp_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

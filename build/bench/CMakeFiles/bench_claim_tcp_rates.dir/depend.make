@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim_tcp_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_timeliness.dir/bench_claim_timeliness.cpp.o"
+  "CMakeFiles/bench_claim_timeliness.dir/bench_claim_timeliness.cpp.o.d"
+  "bench_claim_timeliness"
+  "bench_claim_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

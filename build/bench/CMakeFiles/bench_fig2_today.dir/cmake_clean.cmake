@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_today.dir/bench_fig2_today.cpp.o"
+  "CMakeFiles/bench_fig2_today.dir/bench_fig2_today.cpp.o.d"
+  "bench_fig2_today"
+  "bench_fig2_today.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_today.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_multimodal.dir/bench_fig3_multimodal.cpp.o"
+  "CMakeFiles/bench_fig3_multimodal.dir/bench_fig3_multimodal.cpp.o.d"
+  "bench_fig3_multimodal"
+  "bench_fig3_multimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_multimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

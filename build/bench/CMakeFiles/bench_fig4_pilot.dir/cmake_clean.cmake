@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pilot.dir/bench_fig4_pilot.cpp.o"
+  "CMakeFiles/bench_fig4_pilot.dir/bench_fig4_pilot.cpp.o.d"
+  "bench_fig4_pilot"
+  "bench_fig4_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_processing.dir/bench_header_processing.cpp.o"
+  "CMakeFiles/bench_header_processing.dir/bench_header_processing.cpp.o.d"
+  "bench_header_processing"
+  "bench_header_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

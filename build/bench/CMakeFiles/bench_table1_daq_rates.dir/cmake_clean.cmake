@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_daq_rates.dir/bench_table1_daq_rates.cpp.o"
+  "CMakeFiles/bench_table1_daq_rates.dir/bench_table1_daq_rates.cpp.o.d"
+  "bench_table1_daq_rates"
+  "bench_table1_daq_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_daq_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

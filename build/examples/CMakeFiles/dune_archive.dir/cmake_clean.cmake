@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dune_archive.dir/dune_archive.cpp.o"
+  "CMakeFiles/dune_archive.dir/dune_archive.cpp.o.d"
+  "dune_archive"
+  "dune_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dune_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

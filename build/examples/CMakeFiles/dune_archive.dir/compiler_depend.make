@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dune_archive.
+# This may be replaced when dependencies are built.

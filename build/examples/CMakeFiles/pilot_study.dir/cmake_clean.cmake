@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_study.dir/pilot_study.cpp.o"
+  "CMakeFiles/pilot_study.dir/pilot_study.cpp.o.d"
+  "pilot_study"
+  "pilot_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/supernova_alert.cpp" "examples/CMakeFiles/supernova_alert.dir/supernova_alert.cpp.o" "gcc" "examples/CMakeFiles/supernova_alert.dir/supernova_alert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/mmtp_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/udp/CMakeFiles/mmtp_udp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/mmtp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmtp/CMakeFiles/mmtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/mmtp_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/mmtp_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/mmtp_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnet/CMakeFiles/mmtp_pnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mmtp_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mmtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mmtp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

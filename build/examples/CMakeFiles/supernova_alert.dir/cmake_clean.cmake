@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova_alert.dir/supernova_alert.cpp.o"
+  "CMakeFiles/supernova_alert.dir/supernova_alert.cpp.o.d"
+  "supernova_alert"
+  "supernova_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for supernova_alert.
+# This may be replaced when dependencies are built.

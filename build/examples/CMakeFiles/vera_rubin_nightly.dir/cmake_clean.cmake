@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vera_rubin_nightly.dir/vera_rubin_nightly.cpp.o"
+  "CMakeFiles/vera_rubin_nightly.dir/vera_rubin_nightly.cpp.o.d"
+  "vera_rubin_nightly"
+  "vera_rubin_nightly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vera_rubin_nightly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vera_rubin_nightly.
+# This may be replaced when dependencies are built.

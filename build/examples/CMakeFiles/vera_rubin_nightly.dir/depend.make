@@ -1,0 +1,2 @@
+# Empty dependencies file for vera_rubin_nightly.
+# This may be replaced when dependencies are built.

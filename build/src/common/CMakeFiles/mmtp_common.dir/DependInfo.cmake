@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/mmtp_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/crc32c.cpp" "src/common/CMakeFiles/mmtp_common.dir/crc32c.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/crc32c.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/mmtp_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/interval_set.cpp" "src/common/CMakeFiles/mmtp_common.dir/interval_set.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/interval_set.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/mmtp_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/mmtp_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/mmtp_common.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_common.dir/bytes.cpp.o"
+  "CMakeFiles/mmtp_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/mmtp_common.dir/crc32c.cpp.o"
+  "CMakeFiles/mmtp_common.dir/crc32c.cpp.o.d"
+  "CMakeFiles/mmtp_common.dir/histogram.cpp.o"
+  "CMakeFiles/mmtp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/mmtp_common.dir/interval_set.cpp.o"
+  "CMakeFiles/mmtp_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/mmtp_common.dir/log.cpp.o"
+  "CMakeFiles/mmtp_common.dir/log.cpp.o.d"
+  "CMakeFiles/mmtp_common.dir/rng.cpp.o"
+  "CMakeFiles/mmtp_common.dir/rng.cpp.o.d"
+  "libmmtp_common.a"
+  "libmmtp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

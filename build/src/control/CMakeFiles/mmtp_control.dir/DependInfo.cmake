@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/discovery.cpp" "src/control/CMakeFiles/mmtp_control.dir/discovery.cpp.o" "gcc" "src/control/CMakeFiles/mmtp_control.dir/discovery.cpp.o.d"
+  "/root/repo/src/control/planner.cpp" "src/control/CMakeFiles/mmtp_control.dir/planner.cpp.o" "gcc" "src/control/CMakeFiles/mmtp_control.dir/planner.cpp.o.d"
+  "/root/repo/src/control/policy.cpp" "src/control/CMakeFiles/mmtp_control.dir/policy.cpp.o" "gcc" "src/control/CMakeFiles/mmtp_control.dir/policy.cpp.o.d"
+  "/root/repo/src/control/resource_map.cpp" "src/control/CMakeFiles/mmtp_control.dir/resource_map.cpp.o" "gcc" "src/control/CMakeFiles/mmtp_control.dir/resource_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mmtp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnet/CMakeFiles/mmtp_pnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mmtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

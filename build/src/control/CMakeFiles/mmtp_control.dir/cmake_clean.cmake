@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_control.dir/discovery.cpp.o"
+  "CMakeFiles/mmtp_control.dir/discovery.cpp.o.d"
+  "CMakeFiles/mmtp_control.dir/planner.cpp.o"
+  "CMakeFiles/mmtp_control.dir/planner.cpp.o.d"
+  "CMakeFiles/mmtp_control.dir/policy.cpp.o"
+  "CMakeFiles/mmtp_control.dir/policy.cpp.o.d"
+  "CMakeFiles/mmtp_control.dir/resource_map.cpp.o"
+  "CMakeFiles/mmtp_control.dir/resource_map.cpp.o.d"
+  "libmmtp_control.a"
+  "libmmtp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mmtp_control.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daq/alerts.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/alerts.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/alerts.cpp.o.d"
+  "/root/repo/src/daq/archive.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/archive.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/archive.cpp.o.d"
+  "/root/repo/src/daq/message.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/message.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/message.cpp.o.d"
+  "/root/repo/src/daq/profiles.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/profiles.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/profiles.cpp.o.d"
+  "/root/repo/src/daq/trigger.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/trigger.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/trigger.cpp.o.d"
+  "/root/repo/src/daq/wib.cpp" "src/daq/CMakeFiles/mmtp_daq.dir/wib.cpp.o" "gcc" "src/daq/CMakeFiles/mmtp_daq.dir/wib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mmtp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

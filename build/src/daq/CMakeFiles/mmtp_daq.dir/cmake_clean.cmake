@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_daq.dir/alerts.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/alerts.cpp.o.d"
+  "CMakeFiles/mmtp_daq.dir/archive.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/archive.cpp.o.d"
+  "CMakeFiles/mmtp_daq.dir/message.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/message.cpp.o.d"
+  "CMakeFiles/mmtp_daq.dir/profiles.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/profiles.cpp.o.d"
+  "CMakeFiles/mmtp_daq.dir/trigger.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/trigger.cpp.o.d"
+  "CMakeFiles/mmtp_daq.dir/wib.cpp.o"
+  "CMakeFiles/mmtp_daq.dir/wib.cpp.o.d"
+  "libmmtp_daq.a"
+  "libmmtp_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

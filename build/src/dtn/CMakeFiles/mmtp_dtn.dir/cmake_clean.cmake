@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_dtn.dir/buffer.cpp.o"
+  "CMakeFiles/mmtp_dtn.dir/buffer.cpp.o.d"
+  "libmmtp_dtn.a"
+  "libmmtp_dtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mmtp_dtn.
+# This may be replaced when dependencies are built.

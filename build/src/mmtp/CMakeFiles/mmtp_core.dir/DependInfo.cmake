@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmtp/buffer_service.cpp" "src/mmtp/CMakeFiles/mmtp_core.dir/buffer_service.cpp.o" "gcc" "src/mmtp/CMakeFiles/mmtp_core.dir/buffer_service.cpp.o.d"
+  "/root/repo/src/mmtp/receiver.cpp" "src/mmtp/CMakeFiles/mmtp_core.dir/receiver.cpp.o" "gcc" "src/mmtp/CMakeFiles/mmtp_core.dir/receiver.cpp.o.d"
+  "/root/repo/src/mmtp/sender.cpp" "src/mmtp/CMakeFiles/mmtp_core.dir/sender.cpp.o" "gcc" "src/mmtp/CMakeFiles/mmtp_core.dir/sender.cpp.o.d"
+  "/root/repo/src/mmtp/stack.cpp" "src/mmtp/CMakeFiles/mmtp_core.dir/stack.cpp.o" "gcc" "src/mmtp/CMakeFiles/mmtp_core.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mmtp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mmtp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/mmtp_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/mmtp_dtn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

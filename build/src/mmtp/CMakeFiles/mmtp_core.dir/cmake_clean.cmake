@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_core.dir/buffer_service.cpp.o"
+  "CMakeFiles/mmtp_core.dir/buffer_service.cpp.o.d"
+  "CMakeFiles/mmtp_core.dir/receiver.cpp.o"
+  "CMakeFiles/mmtp_core.dir/receiver.cpp.o.d"
+  "CMakeFiles/mmtp_core.dir/sender.cpp.o"
+  "CMakeFiles/mmtp_core.dir/sender.cpp.o.d"
+  "CMakeFiles/mmtp_core.dir/stack.cpp.o"
+  "CMakeFiles/mmtp_core.dir/stack.cpp.o.d"
+  "libmmtp_core.a"
+  "libmmtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

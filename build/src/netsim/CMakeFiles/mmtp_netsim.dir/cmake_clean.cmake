@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_netsim.dir/engine.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/engine.cpp.o.d"
+  "CMakeFiles/mmtp_netsim.dir/host.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/host.cpp.o.d"
+  "CMakeFiles/mmtp_netsim.dir/link.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/mmtp_netsim.dir/network.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/mmtp_netsim.dir/node.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/node.cpp.o.d"
+  "CMakeFiles/mmtp_netsim.dir/queue.cpp.o"
+  "CMakeFiles/mmtp_netsim.dir/queue.cpp.o.d"
+  "libmmtp_netsim.a"
+  "libmmtp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_pnet.dir/context.cpp.o"
+  "CMakeFiles/mmtp_pnet.dir/context.cpp.o.d"
+  "CMakeFiles/mmtp_pnet.dir/element.cpp.o"
+  "CMakeFiles/mmtp_pnet.dir/element.cpp.o.d"
+  "CMakeFiles/mmtp_pnet.dir/stages.cpp.o"
+  "CMakeFiles/mmtp_pnet.dir/stages.cpp.o.d"
+  "libmmtp_pnet.a"
+  "libmmtp_pnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_pnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmtp_pnet.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_scenario.dir/pilot.cpp.o"
+  "CMakeFiles/mmtp_scenario.dir/pilot.cpp.o.d"
+  "CMakeFiles/mmtp_scenario.dir/today.cpp.o"
+  "CMakeFiles/mmtp_scenario.dir/today.cpp.o.d"
+  "libmmtp_scenario.a"
+  "libmmtp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

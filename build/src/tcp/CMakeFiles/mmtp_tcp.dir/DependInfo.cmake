@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cc.cpp" "src/tcp/CMakeFiles/mmtp_tcp.dir/cc.cpp.o" "gcc" "src/tcp/CMakeFiles/mmtp_tcp.dir/cc.cpp.o.d"
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/mmtp_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/mmtp_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/segment.cpp" "src/tcp/CMakeFiles/mmtp_tcp.dir/segment.cpp.o" "gcc" "src/tcp/CMakeFiles/mmtp_tcp.dir/segment.cpp.o.d"
+  "/root/repo/src/tcp/stack.cpp" "src/tcp/CMakeFiles/mmtp_tcp.dir/stack.cpp.o" "gcc" "src/tcp/CMakeFiles/mmtp_tcp.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/mmtp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/mmtp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_tcp.dir/cc.cpp.o"
+  "CMakeFiles/mmtp_tcp.dir/cc.cpp.o.d"
+  "CMakeFiles/mmtp_tcp.dir/connection.cpp.o"
+  "CMakeFiles/mmtp_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/mmtp_tcp.dir/segment.cpp.o"
+  "CMakeFiles/mmtp_tcp.dir/segment.cpp.o.d"
+  "CMakeFiles/mmtp_tcp.dir/stack.cpp.o"
+  "CMakeFiles/mmtp_tcp.dir/stack.cpp.o.d"
+  "libmmtp_tcp.a"
+  "libmmtp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

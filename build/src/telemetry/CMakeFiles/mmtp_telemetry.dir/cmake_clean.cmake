@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_telemetry.dir/recorder.cpp.o"
+  "CMakeFiles/mmtp_telemetry.dir/recorder.cpp.o.d"
+  "CMakeFiles/mmtp_telemetry.dir/report.cpp.o"
+  "CMakeFiles/mmtp_telemetry.dir/report.cpp.o.d"
+  "libmmtp_telemetry.a"
+  "libmmtp_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

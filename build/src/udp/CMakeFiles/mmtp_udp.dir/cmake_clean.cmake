@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_udp.dir/udp.cpp.o"
+  "CMakeFiles/mmtp_udp.dir/udp.cpp.o.d"
+  "libmmtp_udp.a"
+  "libmmtp_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

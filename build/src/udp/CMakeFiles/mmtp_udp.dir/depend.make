@@ -1,0 +1,2 @@
+# Empty dependencies file for mmtp_udp.
+# This may be replaced when dependencies are built.

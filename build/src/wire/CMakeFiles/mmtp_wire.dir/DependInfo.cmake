@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/build.cpp" "src/wire/CMakeFiles/mmtp_wire.dir/build.cpp.o" "gcc" "src/wire/CMakeFiles/mmtp_wire.dir/build.cpp.o.d"
+  "/root/repo/src/wire/control.cpp" "src/wire/CMakeFiles/mmtp_wire.dir/control.cpp.o" "gcc" "src/wire/CMakeFiles/mmtp_wire.dir/control.cpp.o.d"
+  "/root/repo/src/wire/header.cpp" "src/wire/CMakeFiles/mmtp_wire.dir/header.cpp.o" "gcc" "src/wire/CMakeFiles/mmtp_wire.dir/header.cpp.o.d"
+  "/root/repo/src/wire/lower.cpp" "src/wire/CMakeFiles/mmtp_wire.dir/lower.cpp.o" "gcc" "src/wire/CMakeFiles/mmtp_wire.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmtp_wire.dir/build.cpp.o"
+  "CMakeFiles/mmtp_wire.dir/build.cpp.o.d"
+  "CMakeFiles/mmtp_wire.dir/control.cpp.o"
+  "CMakeFiles/mmtp_wire.dir/control.cpp.o.d"
+  "CMakeFiles/mmtp_wire.dir/header.cpp.o"
+  "CMakeFiles/mmtp_wire.dir/header.cpp.o.d"
+  "CMakeFiles/mmtp_wire.dir/lower.cpp.o"
+  "CMakeFiles/mmtp_wire.dir/lower.cpp.o.d"
+  "libmmtp_wire.a"
+  "libmmtp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmtp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

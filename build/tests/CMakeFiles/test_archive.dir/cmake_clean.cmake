@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archive.dir/test_archive.cpp.o"
+  "CMakeFiles/test_archive.dir/test_archive.cpp.o.d"
+  "test_archive"
+  "test_archive.pdb"
+  "test_archive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

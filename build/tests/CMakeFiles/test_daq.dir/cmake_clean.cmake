@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daq.dir/test_daq.cpp.o"
+  "CMakeFiles/test_daq.dir/test_daq.cpp.o.d"
+  "test_daq"
+  "test_daq.pdb"
+  "test_daq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtn.dir/test_dtn.cpp.o"
+  "CMakeFiles/test_dtn.dir/test_dtn.cpp.o.d"
+  "test_dtn"
+  "test_dtn.pdb"
+  "test_dtn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_pilot.dir/test_integration_pilot.cpp.o"
+  "CMakeFiles/test_integration_pilot.dir/test_integration_pilot.cpp.o.d"
+  "test_integration_pilot"
+  "test_integration_pilot.pdb"
+  "test_integration_pilot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_today.dir/test_integration_today.cpp.o"
+  "CMakeFiles/test_integration_today.dir/test_integration_today.cpp.o.d"
+  "test_integration_today"
+  "test_integration_today.pdb"
+  "test_integration_today[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_today.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmtp.dir/test_mmtp.cpp.o"
+  "CMakeFiles/test_mmtp.dir/test_mmtp.cpp.o.d"
+  "test_mmtp"
+  "test_mmtp.pdb"
+  "test_mmtp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnet.dir/test_pnet.cpp.o"
+  "CMakeFiles/test_pnet.dir/test_pnet.cpp.o.d"
+  "test_pnet"
+  "test_pnet.pdb"
+  "test_pnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

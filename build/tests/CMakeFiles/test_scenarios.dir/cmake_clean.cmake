@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenarios.dir/test_scenarios.cpp.o"
+  "CMakeFiles/test_scenarios.dir/test_scenarios.cpp.o.d"
+  "test_scenarios"
+  "test_scenarios.pdb"
+  "test_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slices.dir/test_slices.cpp.o"
+  "CMakeFiles/test_slices.dir/test_slices.cpp.o.d"
+  "test_slices"
+  "test_slices.pdb"
+  "test_slices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

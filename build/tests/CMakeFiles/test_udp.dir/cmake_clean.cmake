@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp.dir/test_udp.cpp.o"
+  "CMakeFiles/test_udp.dir/test_udp.cpp.o.d"
+  "test_udp"
+  "test_udp.pdb"
+  "test_udp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pnet[1]_include.cmake")
+include("/root/repo/build/tests/test_daq[1]_include.cmake")
+include("/root/repo/build/tests/test_udp[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_dtn[1]_include.cmake")
+include("/root/repo/build/tests/test_mmtp[1]_include.cmake")
+include("/root/repo/build/tests/test_control[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_pilot[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_today[1]_include.cmake")
+include("/root/repo/build/tests/test_discovery[1]_include.cmake")
+include("/root/repo/build/tests/test_archive[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_slices[1]_include.cmake")
