@@ -1,0 +1,166 @@
+// inline_task.hpp — move-only void() callable with a large inline buffer.
+//
+// std::function heap-allocates any capture bigger than two or three
+// pointers and requires copyability, so the engine's event closures —
+// which capture a whole moved packet — both allocated and deep-copied.
+// inline_task stores captures up to `inline_capacity` bytes in place
+// (sized so `this` + a moved netsim::packet fits with headroom) and only
+// falls back to the heap for oversized or throwing-move captures. Moves
+// are always noexcept: inline targets relocate via their (nothrow) move
+// constructor, heap targets by pointer steal.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mmtp {
+
+class inline_task {
+public:
+    /// Bytes of in-place capture storage. netsim's hottest closure —
+    /// a link arrival capturing {link*, packet} — is ~168 bytes; 192
+    /// leaves room for a couple of extra captured words.
+    static constexpr std::size_t inline_capacity = 192;
+
+    inline_task() noexcept = default;
+    inline_task(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename D = std::remove_cvref_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, inline_task> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    inline_task(F&& f)
+    {
+        if constexpr (fits_inline<D>) {
+            ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+            ops_ = &inline_ops<D>;
+        } else {
+            ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+            ops_ = &heap_ops<D>;
+        }
+    }
+
+    inline_task(inline_task&& o) noexcept : ops_(o.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(o.buf_, buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    inline_task& operator=(inline_task&& o) noexcept
+    {
+        if (this != &o) {
+            if (ops_) ops_->destroy(buf_);
+            ops_ = o.ops_;
+            if (ops_) {
+                ops_->relocate(o.buf_, buf_);
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    inline_task(const inline_task&) = delete;
+    inline_task& operator=(const inline_task&) = delete;
+
+    ~inline_task()
+    {
+        if (ops_) ops_->destroy(buf_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /// Destroys the current target (if any) and constructs a new one in
+    /// place from `f` — one capture move, no intermediate inline_task.
+    template <typename F, typename D = std::remove_cvref_t<F>>
+    void emplace(F&& f)
+    {
+        if constexpr (std::is_same_v<D, inline_task>) {
+            *this = std::forward<F>(f); // move-only: lvalues won't compile
+        } else {
+            static_assert(std::is_invocable_r_v<void, D&>);
+            if (ops_) ops_->destroy(buf_);
+            if constexpr (fits_inline<D>) {
+                ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+                ops_ = &inline_ops<D>;
+            } else {
+                ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+                ops_ = &heap_ops<D>;
+            }
+        }
+    }
+
+    /// Invokes the target. Undefined when empty.
+    void operator()() { ops_->invoke(buf_); }
+
+    /// Invokes the target in place, then destroys it, leaving *this
+    /// empty. Saves the move-out that operator() callers need when the
+    /// task lives in shared storage. Undefined when empty; the storage
+    /// must stay valid for the duration of the call.
+    void run_and_reset()
+    {
+        const ops_t* o = ops_;
+        o->run_destroy(buf_);
+        ops_ = nullptr;
+    }
+
+    /// True when a capture of type F would be stored without allocating.
+    template <typename F>
+    static constexpr bool stored_inline =
+        sizeof(std::remove_cvref_t<F>) <= inline_capacity &&
+        alignof(std::remove_cvref_t<F>) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<std::remove_cvref_t<F>>;
+
+private:
+    template <typename D>
+    static constexpr bool fits_inline = stored_inline<D>;
+
+    struct ops_t {
+        void (*invoke)(void*);
+        /// Invoke followed by destruction, fused into one indirect call
+        /// (the per-event fast path in netsim::engine::step()).
+        void (*run_destroy)(void*);
+        /// Move-constructs dst from src, then destroys src.
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename D>
+    static constexpr ops_t inline_ops{
+        [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+        [](void* p) {
+            D* f = std::launder(static_cast<D*>(p));
+            (*f)();
+            f->~D();
+        },
+        [](void* src, void* dst) noexcept {
+            D* s = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void* p) noexcept { std::launder(static_cast<D*>(p))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr ops_t heap_ops{
+        [](void* p) { (**std::launder(static_cast<D**>(p)))(); },
+        [](void* p) {
+            D* f = *std::launder(static_cast<D**>(p));
+            (*f)();
+            delete f;
+        },
+        [](void* src, void* dst) noexcept {
+            ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+        },
+        [](void* p) noexcept { delete *std::launder(static_cast<D**>(p)); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[inline_capacity];
+    const ops_t* ops_{nullptr};
+};
+
+} // namespace mmtp

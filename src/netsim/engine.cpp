@@ -2,30 +2,6 @@
 
 namespace mmtp::netsim {
 
-void engine::schedule_at(sim_time at, action fn)
-{
-    if (at < now_) at = now_; // never schedule into the past
-    events_.push(entry{at, next_seq_++, std::move(fn)});
-}
-
-void engine::schedule_in(sim_duration delay, action fn)
-{
-    if (delay.ns < 0) delay = sim_duration::zero();
-    schedule_at(now_ + delay, std::move(fn));
-}
-
-bool engine::step()
-{
-    if (events_.empty()) return false;
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the closure handle instead (shared state stays shared).
-    entry e = events_.top();
-    events_.pop();
-    now_ = e.at;
-    e.fn();
-    return true;
-}
-
 std::uint64_t engine::run()
 {
     std::uint64_t n = 0;

@@ -4,29 +4,55 @@
 // two events scheduled for the same instant run in the order they were
 // scheduled. All model components hold a reference to the engine and
 // schedule closures on it.
+//
+// Hot-path design: closures are common/inline_task.hpp values, which
+// store the usual captures (`this` plus a moved packet) inline instead of
+// on the heap. Pending tasks are parked in a slab recycled through a free
+// list, and the 4-ary min-heap (common/dary_heap.hpp) orders only trivial
+// 24-byte {time, seq, slot} keys — sifts are plain memcpys, and pop_move()
+// moves the winning task out of the slab exactly once. Steady-state event
+// dispatch therefore performs zero allocations and zero per-event deep
+// copies.
 #pragma once
 
+#include "common/dary_heap.hpp"
+#include "common/inline_task.hpp"
 #include "common/units.hpp"
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 namespace mmtp::netsim {
 
 class engine {
 public:
-    using action = std::function<void()>;
+    using action = inline_task;
 
     /// Current simulated time.
     sim_time now() const { return now_; }
 
-    /// Schedules `fn` at absolute time `at` (must be >= now()).
-    void schedule_at(sim_time at, action fn);
+    // Scheduling and dispatch are defined inline: the compiler then sees
+    // the concrete closure type from construction through slab parking,
+    // which lets it fold the inline_task relocation thunks into straight
+    // moves inside link/element hot loops.
+
+    /// Schedules `fn` at absolute time `at` (must be >= now()). Accepts
+    /// any void() callable; the capture is constructed directly in the
+    /// engine's task slab (no intermediate type-erased temporary).
+    template <typename F>
+    void schedule_at(sim_time at, F&& fn)
+    {
+        park(at < now_ ? now_ : at, std::forward<F>(fn));
+    }
 
     /// Schedules `fn` after `delay` (clamped to >= 0).
-    void schedule_in(sim_duration delay, action fn);
+    template <typename F>
+    void schedule_in(sim_duration delay, F&& fn)
+    {
+        if (delay.ns < 0) delay = sim_duration::zero();
+        park(now_ + delay, std::forward<F>(fn));
+    }
 
     /// Runs events until the queue empties. Returns events executed.
     std::uint64_t run();
@@ -35,28 +61,69 @@ public:
     std::uint64_t run_until(sim_time until);
 
     /// Runs at most one event; returns false when the queue is empty.
-    bool step();
+    bool step()
+    {
+        if (events_.empty()) return false;
+        const key k = events_.pop_move();
+        now_ = k.at;
+        // Run the task in place — slab blocks are address-stable, and the
+        // slot is only recycled (below) after the callback returns, so
+        // reentrant scheduling is safe without moving the closure out.
+        task_at(k.slot).run_and_reset();
+        free_slots_.push_back(k.slot);
+        return true;
+    }
 
     bool empty() const { return events_.empty(); }
     std::size_t pending() const { return events_.size(); }
 
 private:
-    struct entry {
+    struct key {
         sim_time at;
         std::uint64_t seq;
-        action fn;
+        std::uint32_t slot;
     };
-    struct later {
-        bool operator()(const entry& a, const entry& b) const
+    struct sooner {
+        bool operator()(const key& a, const key& b) const
         {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
+            if (a.at != b.at) return a.at < b.at;
+            return a.seq < b.seq;
         }
     };
 
+    // Pending tasks live in fixed-size blocks so their addresses never
+    // change (step() runs them in place); slots recycle via a LIFO free
+    // list, which keeps the working set hot in cache.
+    static constexpr std::uint32_t slab_block_bits = 8; // 256 tasks/block
+    static constexpr std::uint32_t slab_block_size = 1u << slab_block_bits;
+
+    action& task_at(std::uint32_t slot)
+    {
+        return blocks_[slot >> slab_block_bits][slot & (slab_block_size - 1)];
+    }
+
+    template <typename F>
+    void park(sim_time at, F&& fn)
+    {
+        std::uint32_t slot;
+        if (!free_slots_.empty()) {
+            slot = free_slots_.back();
+            free_slots_.pop_back();
+        } else {
+            if ((task_count_ >> slab_block_bits) == blocks_.size())
+                blocks_.push_back(std::make_unique<action[]>(slab_block_size));
+            slot = task_count_++;
+        }
+        task_at(slot).emplace(std::forward<F>(fn));
+        events_.push(key{at, next_seq_++, slot});
+    }
+
     sim_time now_{sim_time::zero()};
     std::uint64_t next_seq_{0};
-    std::priority_queue<entry, std::vector<entry>, later> events_;
+    dary_heap<key, sooner> events_;
+    std::vector<std::unique_ptr<action[]>> blocks_;
+    std::uint32_t task_count_{0};
+    std::vector<std::uint32_t> free_slots_;
 };
 
 } // namespace mmtp::netsim

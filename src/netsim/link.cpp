@@ -22,6 +22,15 @@ void link::send(packet&& p)
         stats_.dropped_oversize++;
         return;
     }
+    // Cut-through: an idle serializer with an empty queue takes the
+    // packet directly — same timing, same statistics, two fewer moves.
+    // Depth watchers disable it (they must observe the transient depth).
+    if (!busy_ && !depth_watcher_ && queue_->empty() && queue_->would_accept(p)) {
+        queue_->note_passthrough(p.wire_size());
+        busy_ = true;
+        transmit(std::move(p));
+        return;
+    }
     if (!queue_->enqueue(std::move(p))) {
         // queue discipline recorded the drop
         if (depth_watcher_) depth_watcher_(queue_->byte_depth());
@@ -34,27 +43,30 @@ void link::send(packet&& p)
 void link::kick()
 {
     if (busy_) return;
-    auto next = queue_->dequeue();
-    if (!next) return;
+    packet next;
+    if (!queue_->dequeue_into(next)) return;
     busy_ = true;
-    transmit(std::move(*next));
+    transmit(std::move(next));
 }
 
 void link::transmit(packet&& p)
 {
-    const auto tx = cfg_.rate.transmission_time(p.wire_size());
-    stats_.busy = stats_.busy + tx;
-    stats_.tx_packets++;
-    stats_.tx_bytes += p.wire_size();
+    const auto wire = p.wire_size();
+    const auto tx = cfg_.rate.transmission_time(wire);
+    stats_.busy = stats_.busy + tx; // the serializer runs even for lost packets
 
     // Corruption / random-loss processes.
     bool drop = false;
     if (cfg_.drop_probability > 0.0 && noise_.chance(cfg_.drop_probability)) {
         stats_.dropped_random++;
+        stats_.dropped_random_bytes += wire;
         drop = true;
+    } else {
+        stats_.tx_packets++;
+        stats_.tx_bytes += wire;
     }
     if (!drop && cfg_.bit_error_rate > 0.0) {
-        const double pkt_prob = cfg_.bit_error_rate * static_cast<double>(p.wire_size() * 8);
+        const double pkt_prob = cfg_.bit_error_rate * static_cast<double>(wire * 8);
         if (noise_.chance(pkt_prob < 1.0 ? pkt_prob : 1.0)) {
             stats_.corrupted++;
             p.corrupted = true; // delivered, then dropped by the receiver
@@ -67,6 +79,8 @@ void link::transmit(packet&& p)
             pkt.hops++;
             to_.receive(std::move(pkt), ingress_port_at_dst_);
         };
+        static_assert(inline_task::stored_inline<decltype(arrival)>,
+                      "link arrival closure must not heap-allocate");
         eng_.schedule_in(tx + cfg_.propagation, std::move(arrival));
     }
 

@@ -35,12 +35,17 @@ struct link_config {
 };
 
 struct link_stats {
+    /// Packets/bytes that actually went onto the wire toward the far end
+    /// (random-loss victims are counted in dropped_random* instead, so
+    /// tx_packets + dropped_random == packets the serializer dequeued).
     std::uint64_t tx_packets{0};
     std::uint64_t tx_bytes{0};
     std::uint64_t corrupted{0};
     std::uint64_t dropped_random{0};
+    std::uint64_t dropped_random_bytes{0};
     std::uint64_t dropped_oversize{0};
-    /// Time the serializer spent busy (for utilization reports).
+    /// Time the serializer spent busy (for utilization reports); includes
+    /// serialization of random-loss victims, which still occupy the line.
     sim_duration busy{sim_duration::zero()};
 };
 

@@ -8,6 +8,7 @@
 // (NAK bodies, alerts) use the real `payload` bytes.
 #pragma once
 
+#include "common/small_bytes.hpp"
 #include "common/units.hpp"
 
 #include <cstdint>
@@ -22,7 +23,10 @@ struct packet {
     std::uint64_t id{0};
     /// Serialized protocol headers (Ethernet [+ IPv4 [+ UDP]] + payload
     /// protocol header). Network elements read and rewrite these bytes.
-    std::vector<std::uint8_t> headers;
+    /// Small-buffer storage: real header stacks fit the 64-byte inline
+    /// capacity, so moving a packet through queues and event closures
+    /// never touches the heap.
+    small_bytes headers;
     /// Real payload bytes (control bodies, alert contents, TCP segments).
     std::vector<std::uint8_t> payload;
     /// Additional virtual payload bytes counted in wire_size() only.
@@ -42,7 +46,7 @@ struct packet {
         return headers.size() + payload.size() + virtual_payload;
     }
 
-    std::span<const std::uint8_t> header_view() const { return headers; }
+    std::span<const std::uint8_t> header_view() const { return headers.view(); }
 };
 
 /// Monotonic packet-id source (one per simulation).

@@ -17,19 +17,18 @@ bool drop_tail_queue::enqueue(packet&& p)
     return true;
 }
 
-std::optional<packet> drop_tail_queue::dequeue()
+bool drop_tail_queue::dequeue_into(packet& out)
 {
-    if (q_.empty()) return std::nullopt;
-    packet p = std::move(q_.front());
-    q_.pop_front();
-    bytes_ -= p.wire_size();
+    if (q_.empty()) return false;
+    q_.pop_front_into(out);
+    bytes_ -= out.wire_size();
     stats_.dequeued++;
-    return p;
+    return true;
 }
 
 priority_queue_disc::priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
                                          classifier classify)
-    : bands_(bands), per_band_capacity_(per_band_capacity_bytes), classify_(std::move(classify))
+    : bands_(bands), per_band_capacity_(per_band_capacity_bytes), classify_(classify)
 {
 }
 
@@ -42,6 +41,8 @@ bool priority_queue_disc::enqueue(packet&& p)
     if (bd.bytes + sz > per_band_capacity_) {
         stats_.dropped++;
         stats_.dropped_bytes += sz;
+        bd.dropped++;
+        bd.dropped_bytes += sz;
         return false;
     }
     bd.bytes += sz;
@@ -52,17 +53,23 @@ bool priority_queue_disc::enqueue(packet&& p)
     return true;
 }
 
-std::optional<packet> priority_queue_disc::dequeue()
+bool priority_queue_disc::dequeue_into(packet& out)
 {
     for (auto& bd : bands_) {
         if (bd.q.empty()) continue;
-        packet p = std::move(bd.q.front());
-        bd.q.pop_front();
-        bd.bytes -= p.wire_size();
+        bd.q.pop_front_into(out);
+        bd.bytes -= out.wire_size();
         stats_.dequeued++;
-        return p;
+        return true;
     }
-    return std::nullopt;
+    return false;
+}
+
+bool priority_queue_disc::would_accept(const packet& p) const
+{
+    unsigned b = classify_ ? classify_(p) : 0;
+    if (b >= bands_.size()) b = static_cast<unsigned>(bands_.size()) - 1;
+    return bands_[b].bytes + p.wire_size() <= per_band_capacity_;
 }
 
 std::uint64_t priority_queue_disc::byte_depth() const

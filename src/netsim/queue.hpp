@@ -6,13 +6,17 @@
 // the caller — programmable elements use it with an MMTP-aware classifier
 // to prioritize age-sensitive traffic (§5.3 "input to active queue
 // management").
+//
+// Hot-path notes: packets are stored in common/ring_buffer.hpp rings
+// (std::deque churns a chunk allocation every few packets), and the
+// classifier is a plain function pointer rather than std::function — one
+// indirect call per enqueue, no virtual dispatch, no capture storage.
 #pragma once
 
+#include "common/ring_buffer.hpp"
 #include "netsim/packet.hpp"
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -33,7 +37,32 @@ public:
 
     /// Returns false if the packet was dropped (queue full).
     virtual bool enqueue(packet&& p) = 0;
-    virtual std::optional<packet> dequeue() = 0;
+
+    /// Moves the next packet into `out`; false when empty. This is the
+    /// hot-path interface — one move, no optional wrapper.
+    virtual bool dequeue_into(packet& out) = 0;
+
+    /// True when enqueue(p) would be accepted right now (no drop).
+    virtual bool would_accept(const packet& p) const = 0;
+
+    /// Accounts for a packet handed straight to an idle serializer
+    /// (cut-through when the queue is empty): statistics are identical
+    /// to an enqueue immediately followed by a dequeue.
+    void note_passthrough(std::uint64_t wire_bytes)
+    {
+        stats_.enqueued++;
+        stats_.dequeued++;
+        const auto depth = byte_depth() + wire_bytes;
+        if (depth > stats_.peak_bytes) stats_.peak_bytes = depth;
+    }
+
+    /// Convenience wrapper for tests and cold paths.
+    std::optional<packet> dequeue()
+    {
+        packet p;
+        if (!dequeue_into(p)) return std::nullopt;
+        return p;
+    }
 
     virtual std::uint64_t byte_depth() const = 0;
     virtual std::size_t packet_depth() const = 0;
@@ -54,14 +83,18 @@ public:
     }
 
     bool enqueue(packet&& p) override;
-    std::optional<packet> dequeue() override;
+    bool dequeue_into(packet& out) override;
+    bool would_accept(const packet& p) const override
+    {
+        return bytes_ + p.wire_size() <= capacity_bytes_;
+    }
     std::uint64_t byte_depth() const override { return bytes_; }
     std::size_t packet_depth() const override { return q_.size(); }
 
 private:
     std::uint64_t capacity_bytes_;
     std::uint64_t bytes_{0};
-    std::deque<packet> q_;
+    ring_buffer<packet> q_;
 };
 
 /// Strict-priority multi-band queue. The classifier maps a packet to a
@@ -69,22 +102,31 @@ private:
 /// byte capacity; a packet that doesn't fit its band is dropped.
 class priority_queue_disc final : public queue_disc {
 public:
-    using classifier = std::function<unsigned(const packet&)>;
+    /// Stateless classifier: any capture-less lambda converts. State, if
+    /// genuinely needed, belongs in the packet's header bytes — the same
+    /// restriction real switch pipelines live with.
+    using classifier = unsigned (*)(const packet&);
 
     priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
                         classifier classify);
 
     bool enqueue(packet&& p) override;
-    std::optional<packet> dequeue() override;
+    bool dequeue_into(packet& out) override;
+    bool would_accept(const packet& p) const override;
     std::uint64_t byte_depth() const override;
     std::size_t packet_depth() const override;
 
     std::uint64_t band_depth_bytes(unsigned b) const { return bands_[b].bytes; }
+    /// Packets dropped because band `b` was full.
+    std::uint64_t band_dropped(unsigned b) const { return bands_[b].dropped; }
+    std::uint64_t band_dropped_bytes(unsigned b) const { return bands_[b].dropped_bytes; }
 
 private:
     struct band {
-        std::deque<packet> q;
+        ring_buffer<packet> q;
         std::uint64_t bytes{0};
+        std::uint64_t dropped{0};
+        std::uint64_t dropped_bytes{0};
     };
     std::vector<band> bands_;
     std::uint64_t per_band_capacity_;

@@ -118,9 +118,12 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
         auto pkt = std::move(ctx.pkt);
         const unsigned port = l2_uplink_;
         stats_.forwarded++;
-        eng_.schedule_in(delay, [this, port, moved = std::move(pkt)]() mutable {
+        auto push = [this, port, moved = std::move(pkt)]() mutable {
             egress(port).send(std::move(moved));
-        });
+        };
+        static_assert(netsim::engine::action::stored_inline<decltype(push)>,
+                      "switch egress closure must not heap-allocate");
+        eng_.schedule_in(delay, std::move(push));
         return;
     }
     if (!ctx.ip) {
@@ -139,10 +142,12 @@ void programmable_switch::forward(netsim::packet&& p, wire::ipv4_addr dst, bool 
         return;
     }
     stats_.forwarded++;
-    eng_.schedule_in(profile_.pipeline_latency,
-                     [this, port, moved = std::move(p)]() mutable {
-                         egress(port).send(std::move(moved));
-                     });
+    auto push = [this, port, moved = std::move(p)]() mutable {
+        egress(port).send(std::move(moved));
+    };
+    static_assert(netsim::engine::action::stored_inline<decltype(push)>,
+                  "switch egress closure must not heap-allocate");
+    eng_.schedule_in(profile_.pipeline_latency, std::move(push));
 }
 
 } // namespace mmtp::pnet

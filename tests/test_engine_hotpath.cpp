@@ -1,0 +1,252 @@
+// Regression tests pinned to the zero-copy engine rework: deterministic
+// event ordering across the heap/slab replacement, per-band queue drop
+// accounting, and link stats reconciliation after the tx/loss split.
+// These lock in observable behaviour the rest of the repo (and every
+// seeded integration run) depends on.
+#include "common/inline_task.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/network.hpp"
+#include "netsim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mmtp;
+using namespace mmtp::netsim;
+using namespace mmtp::literals;
+
+namespace {
+
+packet make_pkt(std::uint64_t id, std::uint64_t size)
+{
+    packet p;
+    p.id = id;
+    p.virtual_payload = size;
+    return p;
+}
+
+/// Minimal sink node that counts arrivals.
+class counting_sink final : public node {
+public:
+    using node::node;
+    void receive(packet&& p, unsigned) override
+    {
+        arrivals++;
+        if (p.corrupted) corrupted++;
+    }
+    std::uint64_t arrivals{0};
+    std::uint64_t corrupted{0};
+};
+
+} // namespace
+
+// -------------------------------------------------- engine determinism
+
+// Events scheduled for the same instant must run in insertion order even
+// when interleaved with earlier/later timestamps. This pins the (time,
+// seq) contract the d-ary heap must honour despite not being a stable
+// structure on its own.
+TEST(engine_determinism, same_timestamp_keeps_insertion_order)
+{
+    engine e;
+    std::vector<int> order;
+    // Interleave three timestamps so heap sifts cross same-time groups.
+    for (int i = 0; i < 32; ++i) {
+        e.schedule_at(sim_time{200}, [&order, i] { order.push_back(200 + i); });
+        e.schedule_at(sim_time{100}, [&order, i] { order.push_back(100 + i); });
+        e.schedule_at(sim_time{300}, [&order, i] { order.push_back(300 + i); });
+    }
+    e.run();
+    ASSERT_EQ(order.size(), 96u);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(order[i], 100 + i);
+        EXPECT_EQ(order[32 + i], 200 + i);
+        EXPECT_EQ(order[64 + i], 300 + i);
+    }
+}
+
+// A callback that schedules at the current instant runs after everything
+// already queued for that instant (its seq is larger), in this same run.
+TEST(engine_determinism, reentrant_same_time_runs_last)
+{
+    engine e;
+    std::vector<int> order;
+    e.schedule_at(sim_time{10}, [&] {
+        order.push_back(0);
+        e.schedule_at(sim_time{10}, [&] { order.push_back(2); });
+    });
+    e.schedule_at(sim_time{10}, [&] { order.push_back(1); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(e.now().ns, 10);
+}
+
+// run_until is inclusive: events at exactly `until` execute.
+TEST(engine_determinism, run_until_executes_events_at_boundary)
+{
+    engine e;
+    int hits = 0;
+    e.schedule_at(sim_time{1000}, [&] { hits++; });
+    e.schedule_at(sim_time{1001}, [&] { hits += 100; });
+    EXPECT_EQ(e.run_until(sim_time{1000}), 1u);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(e.now().ns, 1000);
+    EXPECT_EQ(e.pending(), 1u);
+}
+
+// When the queue drains before `until`, the clock still advances to
+// `until` — callers rely on this to stitch consecutive run_until calls.
+TEST(engine_determinism, run_until_advances_clock_when_idle)
+{
+    engine e;
+    e.schedule_at(sim_time{5}, [] {});
+    e.run_until(sim_time{700});
+    EXPECT_EQ(e.now().ns, 700);
+    EXPECT_TRUE(e.empty());
+}
+
+// The slab recycles slots through a free list; hammer schedule/run cycles
+// to make sure recycled slots never reorder or lose events.
+TEST(engine_determinism, slot_recycling_preserves_order)
+{
+    engine e;
+    std::uint64_t executed = 0;
+    std::uint64_t last = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (std::uint64_t i = 0; i < 100; ++i) {
+            const std::uint64_t tag = round * 100 + i;
+            e.schedule_in(sim_duration{static_cast<std::int64_t>(i % 7)},
+                          [&, tag] { executed++; last = tag; });
+        }
+        e.run();
+    }
+    EXPECT_EQ(executed, 5000u);
+    // Final event of the final round: the largest delay (6 ns) with the
+    // highest insertion index i satisfying i % 7 == 6, i.e. i == 97.
+    EXPECT_EQ(last, 4997u);
+}
+
+// The engine's hottest closure shape (this-pointer + moved packet) must
+// stay within inline_task's buffer — compile-time guard against capture
+// growth silently reintroducing per-event allocations.
+TEST(engine_determinism, hot_closures_stay_inline)
+{
+    packet p = make_pkt(1, 1000);
+    auto arrival = [q = std::move(p), n = (void*)nullptr]() mutable { (void)q; };
+    static_assert(inline_task::stored_inline<decltype(arrival)>);
+    SUCCEED();
+}
+
+// ------------------------------------------------- queue drop accounting
+
+TEST(queue_stats, per_band_drop_accounting)
+{
+    // Band = low bit of packet id; 1000-byte capacity per band.
+    priority_queue_disc q(2, 1000, [](const packet& p) {
+        return static_cast<unsigned>(p.id & 1);
+    });
+
+    EXPECT_TRUE(q.enqueue(make_pkt(0, 600))); // band 0
+    EXPECT_TRUE(q.enqueue(make_pkt(1, 900))); // band 1
+    EXPECT_FALSE(q.enqueue(make_pkt(2, 600))); // band 0 full -> drop
+    EXPECT_FALSE(q.enqueue(make_pkt(3, 200))); // band 1 full -> drop
+    EXPECT_TRUE(q.enqueue(make_pkt(4, 300))); // band 0 fits again
+
+    EXPECT_EQ(q.band_dropped(0), 1u);
+    EXPECT_EQ(q.band_dropped_bytes(0), 600u);
+    EXPECT_EQ(q.band_dropped(1), 1u);
+    EXPECT_EQ(q.band_dropped_bytes(1), 200u);
+    // Aggregate stats reconcile with the per-band view.
+    EXPECT_EQ(q.stats().dropped, 2u);
+    EXPECT_EQ(q.stats().dropped_bytes, 800u);
+    EXPECT_EQ(q.stats().enqueued, 3u);
+}
+
+TEST(queue_stats, peak_bytes_tracks_high_water_mark)
+{
+    drop_tail_queue q(10000);
+    EXPECT_TRUE(q.enqueue(make_pkt(1, 4000)));
+    EXPECT_TRUE(q.enqueue(make_pkt(2, 5000)));
+    EXPECT_EQ(q.stats().peak_bytes, 9000u);
+    packet out;
+    EXPECT_TRUE(q.dequeue_into(out));
+    EXPECT_TRUE(q.dequeue_into(out));
+    EXPECT_EQ(q.byte_depth(), 0u);
+    // Peak is sticky.
+    EXPECT_EQ(q.stats().peak_bytes, 9000u);
+    EXPECT_TRUE(q.enqueue(make_pkt(3, 1000)));
+    EXPECT_EQ(q.stats().peak_bytes, 9000u);
+}
+
+TEST(queue_stats, would_accept_matches_enqueue_outcome)
+{
+    drop_tail_queue q(1000);
+    packet big = make_pkt(1, 800);
+    EXPECT_TRUE(q.would_accept(big));
+    EXPECT_TRUE(q.enqueue(std::move(big)));
+    packet more = make_pkt(2, 300);
+    EXPECT_FALSE(q.would_accept(more));
+    EXPECT_FALSE(q.enqueue(std::move(more)));
+}
+
+// --------------------------------------------- link stats reconciliation
+
+// With random loss enabled, every packet the serializer dequeued is
+// accounted exactly once: tx_packets + dropped_random == dequeued, and
+// the sink sees exactly tx_packets arrivals (no corruption configured).
+TEST(link_stats, tx_and_random_drops_reconcile_with_dequeues)
+{
+    network net(7);
+    auto& sink = net.emplace<counting_sink>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(10);
+    cfg.propagation = 1_us;
+    cfg.drop_probability = 0.25;
+    const auto port = net.connect_simplex(src, sink, cfg);
+
+    constexpr std::uint64_t n = 2000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        src.egress(port).send(make_pkt(i + 1, 1000));
+    net.sim().run();
+
+    const auto& ls = src.egress(port).stats();
+    const auto& qs = src.egress(port).queue_statistics();
+    EXPECT_EQ(qs.dequeued, n);
+    EXPECT_EQ(ls.tx_packets + ls.dropped_random, qs.dequeued);
+    EXPECT_EQ(ls.tx_bytes + ls.dropped_random_bytes, n * 1000);
+    EXPECT_EQ(sink.arrivals, ls.tx_packets);
+    EXPECT_EQ(sink.corrupted, 0u);
+    // With p=0.25 over 2000 trials, both outcomes must occur.
+    EXPECT_GT(ls.dropped_random, 0u);
+    EXPECT_GT(ls.tx_packets, 0u);
+    // Lost packets still occupied the serializer: busy covers all dequeues.
+    EXPECT_EQ(ls.busy.ns, static_cast<std::int64_t>(n) * 800); // 800 ns/kB at 10G
+}
+
+// The idle-link cut-through must be invisible in the statistics: a lone
+// packet through an empty queue still counts as enqueued and dequeued.
+TEST(link_stats, cutthrough_keeps_queue_stats_consistent)
+{
+    network net(3);
+    auto& sink = net.emplace<counting_sink>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(10);
+    cfg.propagation = sim_duration::zero();
+    const auto port = net.connect_simplex(src, sink, cfg);
+
+    src.egress(port).send(make_pkt(1, 1250));
+    net.sim().run();
+    src.egress(port).send(make_pkt(2, 1250)); // serializer idle again
+    net.sim().run();
+
+    const auto& qs = src.egress(port).queue_statistics();
+    EXPECT_EQ(qs.enqueued, 2u);
+    EXPECT_EQ(qs.dequeued, 2u);
+    EXPECT_EQ(qs.dropped, 0u);
+    EXPECT_EQ(qs.peak_bytes, 1250u);
+    EXPECT_EQ(sink.arrivals, 2u);
+    EXPECT_EQ(net.sim().now().ns, 2000); // 1 us serialization each
+}
