@@ -1,0 +1,24 @@
+#include "control/health_monitor.hpp"
+
+namespace mmtp::control {
+
+void health_monitor::watch(const link_id& id, netsim::link& l)
+{
+    stats_.links_watched++;
+    l.set_state_watcher([this, id](bool up) { on_transition(id, up); });
+}
+
+void health_monitor::on_transition(const link_id& id, bool up)
+{
+    history_.push_back({id, up, eng_.now()});
+    if (up) {
+        stats_.ups_observed++;
+        planner_.handle_link_up(id);
+    } else {
+        stats_.downs_observed++;
+        planner_.handle_link_down(id);
+    }
+    for (const auto& cb : listeners_) cb(id, up, eng_.now());
+}
+
+} // namespace mmtp::control

@@ -17,6 +17,7 @@ std::optional<flow_id> capacity_planner::admit(const std::vector<link_id>& path,
     for (const auto& id : path) {
         auto it = links_.find(id);
         if (it == links_.end()) return std::nullopt; // unknown link
+        if (!it->second.up) return std::nullopt;     // failed link
         if (it->second.committed_bits + rate.bits_per_sec > it->second.usable_bits)
             return std::nullopt;
     }
@@ -39,20 +40,113 @@ flow_id capacity_planner::record(const std::vector<link_id>& path, data_rate rat
     return id;
 }
 
-void capacity_planner::release(flow_id id)
+void capacity_planner::uncommit(const admission& flow)
 {
-    auto it = flows_.find(id);
-    if (it == flows_.end()) return;
-    for (const auto& lid : it->second.path) {
+    for (const auto& lid : flow.path) {
         auto lit = links_.find(lid);
         if (lit != links_.end()) {
-            if (lit->second.committed_bits >= it->second.rate.bits_per_sec)
-                lit->second.committed_bits -= it->second.rate.bits_per_sec;
+            if (lit->second.committed_bits >= flow.rate.bits_per_sec)
+                lit->second.committed_bits -= flow.rate.bits_per_sec;
             else
                 lit->second.committed_bits = 0;
         }
     }
+}
+
+void capacity_planner::release(flow_id id)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    uncommit(it->second);
+    backups_.erase(id);
     flows_.erase(it);
+}
+
+const admission* capacity_planner::flow(flow_id id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? nullptr : &it->second;
+}
+
+bool capacity_planner::register_backup_path(flow_id id, std::vector<link_id> backup)
+{
+    if (flows_.find(id) == flows_.end()) return false;
+    backups_[id] = std::move(backup);
+    return true;
+}
+
+bool capacity_planner::link_up(const link_id& id) const
+{
+    auto it = links_.find(id);
+    return it != links_.end() && it->second.up;
+}
+
+void capacity_planner::handle_link_down(const link_id& id)
+{
+    auto lit = links_.find(id);
+    if (lit == links_.end() || !lit->second.up) return;
+    lit->second.up = false;
+    stats_.link_failures++;
+
+    // Collect affected flows first: reroutes mutate flows_ and budgets.
+    std::vector<flow_id> affected;
+    for (const auto& [fid, flow] : flows_) {
+        for (const auto& lid : flow.path) {
+            if (lid == id) {
+                affected.push_back(fid);
+                break;
+            }
+        }
+    }
+
+    for (const auto fid : affected) {
+        auto fit = flows_.find(fid);
+        if (fit == flows_.end()) continue;
+        // Release the whole old path — the failed link's budget must not
+        // stay booked against a flow that no longer runs there.
+        uncommit(fit->second);
+
+        auto bit = backups_.find(fid);
+        bool rerouted = false;
+        if (bit != backups_.end()) {
+            const auto& backup = bit->second;
+            rerouted = !backup.empty();
+            for (const auto& lid : backup) {
+                auto l = links_.find(lid);
+                if (l == links_.end() || !l->second.up
+                    || l->second.committed_bits + fit->second.rate.bits_per_sec
+                        > l->second.usable_bits) {
+                    rerouted = false;
+                    break;
+                }
+            }
+            if (rerouted) {
+                for (const auto& lid : backup)
+                    links_[lid].committed_bits += fit->second.rate.bits_per_sec;
+                fit->second.path = backup;
+                backups_.erase(bit); // a backup protects against one failure
+            }
+        }
+
+        if (rerouted) {
+            stats_.flows_rerouted++;
+            if (on_reroute_) on_reroute_(fit->second, true);
+        } else {
+            stats_.flows_stranded++;
+            const admission evicted = fit->second;
+            backups_.erase(fid);
+            flows_.erase(fit);
+            if (on_reroute_) on_reroute_(evicted, false);
+        }
+    }
+}
+
+void capacity_planner::handle_link_up(const link_id& id)
+{
+    auto lit = links_.find(id);
+    if (lit == links_.end() || lit->second.up) return;
+    lit->second.up = true;
+    stats_.link_repairs++;
 }
 
 data_rate capacity_planner::committed(const link_id& id) const
@@ -66,6 +160,7 @@ data_rate capacity_planner::available(const link_id& id) const
     auto it = links_.find(id);
     if (it == links_.end()) return data_rate{0};
     const auto& b = it->second;
+    if (!b.up) return data_rate{0};
     return data_rate{b.usable_bits > b.committed_bits ? b.usable_bits - b.committed_bits
                                                       : 0};
 }

@@ -13,6 +13,7 @@
 #include "common/units.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,6 +28,15 @@ struct admission {
     flow_id id{0};
     data_rate rate{0};
     std::vector<link_id> path;
+};
+
+struct planner_stats {
+    std::uint64_t link_failures{0};
+    std::uint64_t link_repairs{0};
+    /// Flows moved onto their registered backup path after a failure.
+    std::uint64_t flows_rerouted{0};
+    /// Flows evicted because no backup existed or it had no room.
+    std::uint64_t flows_stranded{0};
 };
 
 class capacity_planner {
@@ -46,23 +56,54 @@ public:
 
     /// Committed rate on a link (admitted flows crossing it).
     data_rate committed(const link_id& id) const;
-    /// Remaining admittable rate on a link.
+    /// Remaining admittable rate on a link (0 while the link is down).
     data_rate available(const link_id& id) const;
 
     std::size_t flow_count() const { return flows_.size(); }
+    const admission* flow(flow_id id) const;
+
+    // --- failure awareness (driven by control::health_monitor) ---
+
+    /// Registers a standby path for an admitted flow; consulted when a
+    /// link on its current path fails. Returns false for unknown flows.
+    bool register_backup_path(flow_id id, std::vector<link_id> backup);
+
+    /// Invoked after a failure is handled, once per affected flow.
+    /// `rerouted` is true when the flow now runs on its backup path;
+    /// false when it was stranded (budgets released, flow evicted).
+    using reroute_cb = std::function<void(const admission& flow, bool rerouted)>;
+    void set_reroute_handler(reroute_cb cb) { on_reroute_ = std::move(cb); }
+
+    /// Marks the link down, releases the budgets of every flow crossing
+    /// it along their whole path, and re-admits each onto its registered
+    /// backup path — with admission control intact: a backup without
+    /// room strands the flow rather than overbooking.
+    void handle_link_down(const link_id& id);
+
+    /// Marks the link admittable again. Flows do not move back
+    /// automatically (make-before-break is the operator's call).
+    void handle_link_up(const link_id& id);
+
+    bool link_up(const link_id& id) const;
+    const planner_stats& stats() const { return stats_; }
 
 private:
     struct link_budget {
         data_rate capacity{0};
         std::uint64_t usable_bits{0};
         std::uint64_t committed_bits{0};
+        bool up{true};
     };
 
     flow_id record(const std::vector<link_id>& path, data_rate rate);
+    void uncommit(const admission& flow);
 
     std::map<link_id, link_budget> links_;
     std::map<flow_id, admission> flows_;
+    std::map<flow_id, std::vector<link_id>> backups_;
     flow_id next_flow_{1};
+    planner_stats stats_;
+    reroute_cb on_reroute_;
 };
 
 } // namespace mmtp::control

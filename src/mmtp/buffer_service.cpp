@@ -141,6 +141,7 @@ void buffer_service::advertise(wire::ipv4_addr collector)
     body.buffer_addr = stack_.host().address();
     body.capacity_bytes = buffer_.config().capacity_bytes;
     body.retention_ms = static_cast<std::uint32_t>(buffer_.config().retention.millis());
+    body.secondary_addr = cfg_.secondary_buffer;
     byte_writer w;
     serialize(body, w);
     stack_.send_control(collector, 0, wire::control_type::buffer_advert, w.take());

@@ -40,6 +40,10 @@ struct buffer_service_config {
     /// Advertise this address in the retransmission field instead of the
     /// local host address (when a different buffer should serve NAKs).
     wire::ipv4_addr buffer_addr_override{0};
+    /// Alternate buffer holding the same streams (e.g. a duplication-fed
+    /// tap); carried in adverts so receivers know where to fail over
+    /// when this service stops answering NAKs. 0 = none.
+    wire::ipv4_addr secondary_buffer{0};
 };
 
 struct buffer_service_stats {

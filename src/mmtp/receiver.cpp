@@ -109,6 +109,18 @@ void receiver::schedule_check(const stream_key& k, sim_duration delay)
     stack_.sim().schedule_in(delay, [this, k] { run_check(k); });
 }
 
+sim_duration receiver::retry_interval(std::uint32_t attempts) const
+{
+    // Wait after the n-th unanswered NAK: base * 2^(n-1), capped. Zero
+    // attempts means the gap has never been NAKed — due immediately.
+    if (attempts == 0) return sim_duration::zero();
+    const unsigned shift = attempts - 1 < 20u ? attempts - 1 : 20u;
+    sim_duration d{cfg_.nak_retry.ns << shift};
+    if (cfg_.nak_retry_cap.ns > 0 && d.ns > cfg_.nak_retry_cap.ns)
+        d = cfg_.nak_retry_cap;
+    return d;
+}
+
 void receiver::run_check(const stream_key& k)
 {
     auto it = streams_.find(k);
@@ -123,16 +135,39 @@ void receiver::run_check(const stream_key& k)
         return;
     }
 
+    // Failover: once the primary buffer has ignored failover_attempts
+    // NAKs for any gap, retarget the stream at the fallback buffer and
+    // restart the retry budget — backoff restarts with it, so recovery
+    // from the healthy buffer is probed at the base interval again.
+    if (!st.failed_over && fallback_buffer_ != 0 && cfg_.failover_attempts > 0) {
+        for (const auto& [a, b] : gaps) {
+            (void)b;
+            auto git = st.gaps.find(a);
+            if (git == st.gaps.end() || git->second.attempts < cfg_.failover_attempts)
+                continue;
+            st.failed_over = true;
+            stats_.buffer_failovers++;
+            for (auto& [start, g] : st.gaps) {
+                (void)start;
+                g.attempts = 0;
+                g.last_nak = sim_time::zero();
+            }
+            break;
+        }
+    }
+
+    const wire::ipv4_addr target =
+        st.failed_over && fallback_buffer_ != 0 ? fallback_buffer_ : st.buffer_addr;
+
     wire::nak_body nak;
     nak.epoch = k.epoch;
     nak.requester = stack_.host().address();
 
     auto flush_nak = [&] {
-        if (nak.ranges.empty() || st.buffer_addr == 0) return;
+        if (nak.ranges.empty() || target == 0) return;
         byte_writer w;
         serialize(nak, w);
-        stack_.send_control(st.buffer_addr, k.experiment, wire::control_type::nak,
-                            w.take());
+        stack_.send_control(target, k.experiment, wire::control_type::nak, w.take());
         stats_.naks_sent++;
         stats_.nak_ranges_sent += nak.ranges.size();
         nak.ranges.clear();
@@ -152,11 +187,12 @@ void receiver::run_check(const stream_key& k)
             continue;
         }
         const bool due = g.last_nak == sim_time::zero()
-            || (now - g.last_nak).ns >= cfg_.nak_retry.ns;
+            || (now - g.last_nak).ns >= retry_interval(g.attempts).ns;
         if (!due) continue;
         nak.ranges.push_back({a, b - 1});
         g.last_nak = now;
         g.attempts++;
+        if (g.attempts > 1) stats_.nak_retries++;
         // A NAK carries at most max_nak_ranges ranges; emit as many NAK
         // messages as the round needs (they are tiny).
         if (nak.ranges.size() == wire::max_nak_ranges) flush_nak();
@@ -164,7 +200,21 @@ void receiver::run_check(const stream_key& k)
     st.base = st.received.next_missing(st.base);
     flush_nak();
 
-    if (st.base < st.highest) schedule_check(k, cfg_.nak_retry);
+    if (st.base >= st.highest) return;
+    // Next wake-up: the earliest instant an unresolved gap becomes due
+    // again under its backed-off interval (given-up gaps were resolved
+    // above, so they no longer appear here).
+    sim_duration next = retry_interval(cfg_.max_nak_attempts);
+    for (const auto& [a, b] : st.received.gaps(st.base, st.highest)) {
+        (void)b;
+        sim_duration wait = sim_duration::zero();
+        auto git = st.gaps.find(a);
+        if (git != st.gaps.end() && git->second.last_nak != sim_time::zero())
+            wait = (git->second.last_nak + retry_interval(git->second.attempts)) - now;
+        if (wait.ns < next.ns) next = wait;
+    }
+    if (next.ns < 1000) next = sim_duration{1000}; // 1 us floor: no same-instant spin
+    schedule_check(k, next);
 }
 
 } // namespace mmtp::core

@@ -22,10 +22,19 @@ namespace mmtp::core {
 struct receiver_config {
     /// Wait before declaring a gap a loss (absorbs reordering).
     sim_duration reorder_grace{sim_duration{200000}}; // 200 us
-    /// Retry interval for unanswered NAKs (should exceed the RTT to the
-    /// buffer; the mode policy sets this per deployment).
+    /// Base retry interval for unanswered NAKs (should exceed the RTT to
+    /// the buffer; the mode policy sets this per deployment). Retries
+    /// back off exponentially: the n-th retry waits base * 2^(n-1),
+    /// capped at nak_retry_cap.
     sim_duration nak_retry{sim_duration{5000000}}; // 5 ms
+    /// Ceiling for the backed-off retry interval.
+    sim_duration nak_retry_cap{sim_duration{40000000}}; // 40 ms
     std::uint32_t max_nak_attempts{5};
+    /// Unanswered attempts at the primary buffer before the stream fails
+    /// over to the fallback buffer (if one is known). The retry budget
+    /// and backoff restart at the fallback; give-up happens only after a
+    /// further max_nak_attempts there. 0 disables failover.
+    std::uint32_t failover_attempts{3};
     /// Destination deadline check (pilot mode 3): count and report
     /// datagrams whose age exceeds their deadline on arrival.
     bool check_deadline{true};
@@ -38,6 +47,8 @@ struct receiver_stats {
     std::uint64_t recovered{0};      // datagrams that arrived after a NAK
     std::uint64_t naks_sent{0};
     std::uint64_t nak_ranges_sent{0};
+    std::uint64_t nak_retries{0};    // NAK re-sends (attempt 2+, backed off)
+    std::uint64_t buffer_failovers{0}; // streams switched to the fallback
     std::uint64_t given_up{0};       // sequences abandoned after retries
     std::uint64_t aged_on_arrival{0}; // deadline already exceeded (flag/age)
     histogram age_us;                 // age distribution of arrivals
@@ -54,6 +65,12 @@ public:
 
     void set_on_datagram(datagram_cb cb) { on_datagram_ = std::move(cb); }
     void set_on_loss(loss_cb cb) { on_loss_ = std::move(cb); }
+
+    /// Alternate retransmission-buffer address NAKs fail over to when
+    /// the header-carried primary stops answering. Typically learned
+    /// from a buffer advert's secondary_addr.
+    void set_fallback_buffer(wire::ipv4_addr addr) { fallback_buffer_ = addr; }
+    wire::ipv4_addr fallback_buffer() const { return fallback_buffer_; }
 
     const receiver_stats& stats() const { return stats_; }
 
@@ -76,6 +93,7 @@ private:
         std::uint64_t base{0};     // everything below is resolved
         std::uint64_t highest{0};  // highest sequence seen + 1
         wire::ipv4_addr buffer_addr{0};
+        bool failed_over{false};   // NAKs now target the fallback buffer
         std::map<std::uint64_t, gap_state> gaps; // keyed by gap start
         bool check_scheduled{false};
     };
@@ -84,11 +102,13 @@ private:
     void on_flush(const wire::stream_flush_body& f);
     void schedule_check(const stream_key& k, sim_duration delay);
     void run_check(const stream_key& k);
+    sim_duration retry_interval(std::uint32_t attempts) const;
 
     stack& stack_;
     receiver_config cfg_;
     receiver_stats stats_;
     std::map<stream_key, stream_state> streams_;
+    wire::ipv4_addr fallback_buffer_{0};
     datagram_cb on_datagram_;
     loss_cb on_loss_;
 };

@@ -30,6 +30,14 @@ data_rate sender::effective_pace() const
         static_cast<double>(cfg_.pace.bits_per_sec) * factor)};
 }
 
+void sender::reroute(wire::ipv4_addr new_dst)
+{
+    if (!dst_) return; // L2 senders have no routable destination
+    stats_.reroutes++;
+    dst_ = new_dst;
+    epoch_++;
+}
+
 void sender::on_backpressure(const wire::backpressure_body& b)
 {
     stats_.backpressure_signals++;
@@ -61,6 +69,9 @@ void sender::send_message(const daq::daq_message& msg)
         // deadline); emit default-valued fields so the header is
         // well-formed on the wire.
         wire::materialize_missing_fields(h);
+        // Origin-sequenced streams carry the sender's current epoch so a
+        // reroute is visible as an epoch change downstream.
+        if (h.sequencing) h.sequencing->epoch = epoch_;
 
         // Real bytes first, virtual bulk for the rest.
         std::vector<std::uint8_t> payload;

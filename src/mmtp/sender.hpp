@@ -41,6 +41,7 @@ struct sender_stats {
     std::uint64_t bytes{0};
     std::uint64_t backpressure_signals{0};
     std::uint64_t queued_peak{0};
+    std::uint64_t reroutes{0};
 };
 
 class sender {
@@ -67,6 +68,14 @@ public:
     /// Current effective pace after backpressure scaling.
     data_rate effective_pace() const;
 
+    /// Control-plane reroute (failure-aware planner callback): future
+    /// datagrams go to `new_dst`, and the stream epoch is bumped so
+    /// receivers and buffers treat post-reroute traffic as a fresh
+    /// sequence space (pre-failure sequences cannot collide with it).
+    /// Only meaningful for IPv4 operation; ignored in L2 mode.
+    void reroute(wire::ipv4_addr new_dst);
+    std::uint16_t epoch() const { return epoch_; }
+
 private:
     void on_backpressure(const wire::backpressure_body& b);
     void enqueue_datagram(wire::header h, std::vector<std::uint8_t> payload,
@@ -91,6 +100,7 @@ private:
     bool pump_scheduled_{false};
     std::uint8_t bp_level_{0};
     sim_time bp_until_{sim_time::zero()};
+    std::uint16_t epoch_{0};
 };
 
 } // namespace mmtp::core

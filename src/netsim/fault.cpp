@@ -1,0 +1,70 @@
+#include "netsim/fault.hpp"
+
+namespace mmtp::netsim {
+
+void fault_scheduler::fail_link_at(link& l, sim_time at)
+{
+    eng_.schedule_at(at, [this, &l] {
+        if (!l.up()) return;
+        stats_.link_downs++;
+        l.set_up(false);
+    });
+}
+
+void fault_scheduler::repair_link_at(link& l, sim_time at)
+{
+    eng_.schedule_at(at, [this, &l] {
+        if (l.up()) return;
+        stats_.link_ups++;
+        l.set_up(true);
+    });
+}
+
+void fault_scheduler::flap_link(link& l, sim_time first_down, sim_duration down_for,
+                                sim_duration up_for, unsigned cycles)
+{
+    const sim_duration period = down_for + up_for;
+    for (unsigned i = 0; i < cycles; ++i) {
+        const sim_time down_at = first_down + period * static_cast<std::int64_t>(i);
+        fail_link_at(l, down_at);
+        repair_link_at(l, down_at + down_for);
+        stats_.flap_cycles_scheduled++;
+    }
+}
+
+void fault_scheduler::corruption_burst(link& l, sim_time at, sim_duration duration,
+                                       double ber)
+{
+    eng_.schedule_at(at, [this, &l, duration, ber] {
+        stats_.corruption_bursts++;
+        const double saved = l.config().bit_error_rate;
+        l.set_bit_error_rate(ber);
+        eng_.schedule_in(duration, [&l, saved] { l.set_bit_error_rate(saved); });
+    });
+}
+
+void fault_scheduler::blackout_node(node& n, sim_time at)
+{
+    eng_.schedule_at(at, [this, &n] {
+        if (!n.powered()) return;
+        stats_.node_blackouts++;
+        n.set_powered(false);
+    });
+}
+
+void fault_scheduler::restore_node(node& n, sim_time at)
+{
+    eng_.schedule_at(at, [this, &n] {
+        if (n.powered()) return;
+        stats_.node_restores++;
+        n.set_powered(true);
+    });
+}
+
+void fault_scheduler::blackout_window(node& n, sim_time at, sim_duration duration)
+{
+    blackout_node(n, at);
+    restore_node(n, at + duration);
+}
+
+} // namespace mmtp::netsim

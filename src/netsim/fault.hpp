@@ -1,0 +1,83 @@
+// fault.hpp — deterministic fault injection for the simulated network.
+//
+// The paper argues MMTP can forgo heavy end-to-end machinery because
+// capacity-planned paths plus in-network duplication and nearest-buffer
+// recovery absorb failures (§5.1, §5.4). Steady-state BER/drop noise
+// cannot probe that claim — links must be able to *fail*. The
+// fault_scheduler scripts failures as ordinary engine events, so a fault
+// scenario is exactly as deterministic and reproducible as a fault-free
+// one: same seed, same script, byte-identical run.
+//
+// Event types:
+//   - one-shot link failure / repair        (fail_link_at / repair_link_at)
+//   - periodic link flaps                   (flap_link)
+//   - corruption bursts: temporary BER      (corruption_burst)
+//   - node / element blackout and restore   (blackout_node / restore_node)
+//
+// Semantics of "down" (see DESIGN.md §8): a packet already handed to the
+// serializer completes and is delivered — it is on the wire. Packets
+// queued behind it stay queued until repair. New send() calls while down
+// are dropped and counted in link_stats::dropped_down. A blacked-out
+// node drops all ingress; its egress queues keep draining.
+#pragma once
+
+#include "common/units.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/link.hpp"
+#include "netsim/node.hpp"
+
+#include <cstdint>
+
+namespace mmtp::netsim {
+
+struct fault_stats {
+    /// Events that actually fired (not merely scheduled).
+    std::uint64_t link_downs{0};
+    std::uint64_t link_ups{0};
+    std::uint64_t corruption_bursts{0};
+    std::uint64_t node_blackouts{0};
+    std::uint64_t node_restores{0};
+    /// Flap cycles scripted via flap_link.
+    std::uint64_t flap_cycles_scheduled{0};
+};
+
+/// Drives scripted fault events on the engine. Links and nodes must
+/// outlive the scheduler (they are owned by the network, as usual).
+class fault_scheduler {
+public:
+    explicit fault_scheduler(engine& eng) : eng_(eng) {}
+
+    /// Takes the link down at `at` (no-op if already down then).
+    void fail_link_at(link& l, sim_time at);
+
+    /// Brings the link back up at `at`; queued packets resume draining.
+    void repair_link_at(link& l, sim_time at);
+
+    /// Scripts `cycles` down/up flaps: down at `first_down`, up after
+    /// `down_for`, next cycle after a further `up_for`, and so on.
+    void flap_link(link& l, sim_time first_down, sim_duration down_for,
+                   sim_duration up_for, unsigned cycles);
+
+    /// Overrides the link's bit-error rate with `ber` during
+    /// [at, at + duration), then restores the value it had when the
+    /// burst began (so nested scripts compose left to right).
+    void corruption_burst(link& l, sim_time at, sim_duration duration, double ber);
+
+    /// Powers the node off at `at`: every packet arriving at it is
+    /// dropped (counted in node::blackout_dropped) until restored.
+    void blackout_node(node& n, sim_time at);
+
+    /// Powers the node back on at `at`.
+    void restore_node(node& n, sim_time at);
+
+    /// Convenience: blackout at `at`, restore after `duration`.
+    void blackout_window(node& n, sim_time at, sim_duration duration);
+
+    const fault_stats& stats() const { return stats_; }
+
+private:
+    engine& eng_;
+    fault_stats stats_;
+};
+
+} // namespace mmtp::netsim

@@ -16,8 +16,22 @@ link::link(engine& eng, rng noise, node& to, unsigned ingress_port_at_dst,
 {
 }
 
+void link::set_up(bool up)
+{
+    if (up_ == up) return;
+    up_ = up;
+    if (state_watcher_) state_watcher_(up_);
+    // Repair restarts the serializer on whatever survived in the queue.
+    if (up_) kick();
+}
+
 void link::send(packet&& p)
 {
+    if (!up_) {
+        stats_.dropped_down++;
+        stats_.dropped_down_bytes += p.wire_size();
+        return;
+    }
     if (p.wire_size() > cfg_.mtu) {
         stats_.dropped_oversize++;
         return;
@@ -42,7 +56,7 @@ void link::send(packet&& p)
 
 void link::kick()
 {
-    if (busy_) return;
+    if (busy_ || !up_) return;
     packet next;
     if (!queue_->dequeue_into(next)) return;
     busy_ = true;
@@ -77,7 +91,7 @@ void link::transmit(packet&& p)
     if (!drop) {
         auto arrival = [this, pkt = std::move(p)]() mutable {
             pkt.hops++;
-            to_.receive(std::move(pkt), ingress_port_at_dst_);
+            to_.deliver(std::move(pkt), ingress_port_at_dst_);
         };
         static_assert(inline_task::stored_inline<decltype(arrival)>,
                       "link arrival closure must not heap-allocate");

@@ -44,6 +44,11 @@ struct link_stats {
     std::uint64_t dropped_random{0};
     std::uint64_t dropped_random_bytes{0};
     std::uint64_t dropped_oversize{0};
+    /// Packets refused at send() because the link was down. Down drops
+    /// happen before the queue, so the tx/dropped_random/dequeued
+    /// reconciliation identity is unaffected by faults.
+    std::uint64_t dropped_down{0};
+    std::uint64_t dropped_down_bytes{0};
     /// Time the serializer spent busy (for utilization reports); includes
     /// serialization of random-loss victims, which still occupy the line.
     sim_duration busy{sim_duration::zero()};
@@ -74,6 +79,27 @@ public:
         depth_watcher_ = std::move(w);
     }
 
+    // --- fault surface (driven by netsim::fault_scheduler) ---
+
+    /// Administrative/physical state. While down: new send() calls are
+    /// dropped (dropped_down), the serializer stalls with queued packets
+    /// held in place, and a packet already mid-serialization completes
+    /// and is delivered — it is on the wire. Repair restarts the
+    /// serializer on whatever stayed queued.
+    bool up() const { return up_; }
+    void set_up(bool up);
+
+    /// Observer invoked on every up/down transition (after the state
+    /// change) — health monitors hook this.
+    void set_state_watcher(std::function<void(bool up)> w)
+    {
+        state_watcher_ = std::move(w);
+    }
+
+    /// Overrides the corruption process in place (fault_scheduler uses
+    /// this for burst-corruption windows).
+    void set_bit_error_rate(double ber) { cfg_.bit_error_rate = ber; }
+
 private:
     void kick();
     void transmit(packet&& p);
@@ -85,8 +111,10 @@ private:
     link_config cfg_;
     std::unique_ptr<queue_disc> queue_;
     bool busy_{false};
+    bool up_{true};
     link_stats stats_;
     std::function<void(std::uint64_t)> depth_watcher_;
+    std::function<void(bool)> state_watcher_;
 };
 
 } // namespace mmtp::netsim

@@ -37,6 +37,25 @@ public:
     /// Delivers a packet arriving from a neighbour on `ingress_port`.
     virtual void receive(packet&& p, unsigned ingress_port) = 0;
 
+    /// Link-arrival entry point: applies power gating, then receive().
+    /// Links call this instead of receive() so blackouts need no
+    /// cooperation from node subclasses.
+    void deliver(packet&& p, unsigned ingress_port)
+    {
+        if (!powered_) {
+            blackout_dropped_++;
+            return;
+        }
+        receive(std::move(p), ingress_port);
+    }
+
+    /// Power state (netsim::fault_scheduler blackouts). A blacked-out
+    /// node drops every arriving packet; ingress only — packets already
+    /// queued on its egress links keep draining, as a NIC FIFO would.
+    bool powered() const { return powered_; }
+    void set_powered(bool on) { powered_ = on; }
+    std::uint64_t blackout_dropped() const { return blackout_dropped_; }
+
     /// Adds an egress link; returns its port number.
     unsigned attach_link(std::unique_ptr<link> l);
 
@@ -66,6 +85,8 @@ private:
     std::vector<std::unique_ptr<link>> links_;
     std::unordered_map<wire::ipv4_addr, unsigned> routes_;
     unsigned default_route_{no_port};
+    bool powered_{true};
+    std::uint64_t blackout_dropped_{0};
 };
 
 } // namespace mmtp::netsim

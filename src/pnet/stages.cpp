@@ -209,6 +209,21 @@ void duplication_stage::add_subscriber(std::uint32_t experiment, wire::ipv4_addr
     v.push_back(subscriber);
 }
 
+bool duplication_stage::remove_subscriber(std::uint32_t experiment,
+                                          wire::ipv4_addr subscriber)
+{
+    auto it = subs_.find(experiment);
+    if (it == subs_.end()) return false;
+    auto& v = it->second;
+    for (auto a = v.begin(); a != v.end(); ++a) {
+        if (*a == subscriber) {
+            v.erase(a);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::size_t duplication_stage::subscriber_count(std::uint32_t experiment) const
 {
     auto it = subs_.find(experiment);

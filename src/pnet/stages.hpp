@@ -129,6 +129,11 @@ class duplication_stage final : public pipeline_stage {
 public:
     void add_subscriber(std::uint32_t experiment, wire::ipv4_addr subscriber);
 
+    /// Failure reaction: the control plane prunes a subscriber whose
+    /// node went dark, so the element stops burning egress capacity on
+    /// clones nobody receives. Returns true if the entry existed.
+    bool remove_subscriber(std::uint32_t experiment, wire::ipv4_addr subscriber);
+
     void process(packet_context& ctx, element_state& state) override;
     std::string name() const override { return "duplication"; }
 

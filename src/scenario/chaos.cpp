@@ -1,0 +1,249 @@
+#include "scenario/chaos.hpp"
+
+#include "daq/message.hpp"
+
+namespace mmtp::scenario {
+
+namespace {
+/// The drill's one stream: the ICEBERG experiment, slice 0.
+constexpr wire::experiment_id drill_stream =
+    wire::make_experiment_id(wire::experiments::iceberg, 0);
+} // namespace
+
+std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
+{
+    auto tb = std::make_unique<chaos_testbed>();
+    tb->cfg = cfg;
+    tb->net = netsim::network(cfg.seed);
+    auto& net = tb->net;
+    auto& eng = net.sim();
+
+    // --- topology ---
+    tb->src = &net.add_host("src");
+    tb->tofino =
+        &net.emplace<pnet::programmable_switch>("tofino", pnet::tofino2_profile());
+    tb->rx_host = &net.add_host("rx");
+    tb->buf1 = &net.add_host("buf1");
+    tb->buf2 = &net.add_host("buf2");
+    tb->tofino->set_id_source(&net.ids());
+
+    netsim::link_config clean;
+    clean.rate = data_rate::from_gbps(100);
+    clean.propagation = sim_duration{1000};
+
+    netsim::link_config wan;
+    wan.rate = cfg.wan_rate;
+    wan.propagation = cfg.wan_delay;
+    wan.queue_capacity_bytes = cfg.wan_queue_bytes;
+
+    net.connect(*tb->src, *tb->tofino, clean);
+    tb->wan_primary_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
+    tb->wan_backup_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
+    net.connect_simplex(*tb->rx_host, *tb->tofino, clean); // NAK return path
+    const auto [buf1_feed_port, _a] = net.connect(*tb->tofino, *tb->buf1, clean);
+    net.connect(*tb->tofino, *tb->buf2, clean);
+    (void)_a;
+
+    tb->wan_primary = &tb->tofino->egress(tb->wan_primary_port);
+    tb->wan_backup = &tb->tofino->egress(tb->wan_backup_port);
+    tb->buf1_feed = &tb->tofino->egress(buf1_feed_port);
+
+    net.compute_routes();
+    // Pin the admitted path: data leaves the Tofino on the primary span
+    // until the control plane says otherwise.
+    tb->tofino->add_route(tb->rx_host->address(), tb->wan_primary_port);
+
+    // --- in-network program ---
+    tb->mode_stage = std::make_shared<pnet::mode_transition_stage>();
+    pnet::mode_rule rule;
+    rule.match_any_experiment = true;
+    rule.set_bits = wire::feature_bit(wire::feature::sequencing)
+        | wire::feature_bit(wire::feature::retransmission)
+        | wire::feature_bit(wire::feature::duplication);
+    rule.buffer_addr = tb->buf1->address();
+    tb->mode_stage->add_rule(rule);
+
+    tb->duplication = std::make_shared<pnet::duplication_stage>();
+    tb->duplication->add_subscriber(wire::experiments::iceberg, tb->buf1->address());
+    tb->duplication->add_subscriber(wire::experiments::iceberg, tb->buf2->address());
+
+    tb->tofino->add_stage(tb->mode_stage);
+    tb->tofino->add_stage(tb->duplication);
+
+    // --- endpoints ---
+    tb->src_stack = std::make_unique<core::stack>(*tb->src, net.ids());
+    core::sender_config s_cfg;
+    s_cfg.max_datagram_payload = cfg.message_bytes;
+    tb->tx = std::make_unique<core::sender>(*tb->src_stack, tb->rx_host->address(), s_cfg);
+
+    core::buffer_service_config b1;
+    b1.tap_only = true;
+    b1.secondary_buffer = tb->buf2->address();
+    tb->buf1_stack = std::make_unique<core::stack>(*tb->buf1, net.ids());
+    tb->buf1_svc = std::make_unique<core::buffer_service>(*tb->buf1_stack, b1);
+    tb->buf1_svc->attach_as_sink();
+
+    core::buffer_service_config b2;
+    b2.tap_only = true;
+    tb->buf2_stack = std::make_unique<core::stack>(*tb->buf2, net.ids());
+    tb->buf2_svc = std::make_unique<core::buffer_service>(*tb->buf2_stack, b2);
+    tb->buf2_svc->attach_as_sink();
+
+    tb->rx_stack = std::make_unique<core::stack>(*tb->rx_host, net.ids());
+    core::receiver_config r_cfg;
+    r_cfg.nak_retry = cfg.nak_retry;
+    r_cfg.nak_retry_cap = cfg.nak_retry_cap;
+    r_cfg.max_nak_attempts = cfg.max_nak_attempts;
+    r_cfg.failover_attempts = cfg.failover_attempts;
+    tb->rx = std::make_unique<core::receiver>(*tb->rx_stack, r_cfg);
+    // The fallback buffer is *learned*, not configured: buf1's advert
+    // names buf2 as the secondary holding the same streams.
+    tb->rx_stack->set_advert_handler([tbp = tb.get()](const wire::buffer_advert_body& a) {
+        if (a.secondary_addr != 0) tbp->rx->set_fallback_buffer(a.secondary_addr);
+    });
+
+    // --- failure-aware control plane ---
+    auto& planner = tb->planner;
+    planner.register_link("daq", data_rate::from_gbps(100));
+    planner.register_link("wan-primary", cfg.wan_rate);
+    planner.register_link("wan-backup", cfg.wan_rate);
+    tb->flow = planner.admit({"daq", "wan-primary"}, cfg.planned_rate).value_or(0);
+    planner.register_backup_path(tb->flow, {"daq", "wan-backup"});
+    planner.set_reroute_handler(
+        [tbp = tb.get()](const control::admission& flow, bool rerouted) {
+            (void)flow;
+            // Data-plane reaction: the re-admitted flow's traffic leaves
+            // the Tofino on the backup span from this instant on.
+            if (rerouted)
+                tbp->tofino->add_route(tbp->rx_host->address(), tbp->wan_backup_port);
+        });
+
+    tb->health = std::make_unique<control::health_monitor>(eng, planner);
+    tb->health->watch("wan-primary", *tb->wan_primary);
+    tb->health->watch("buf1-feed", *tb->buf1_feed);
+    tb->health->add_listener(
+        [tbp = tb.get()](const control::link_id& id, bool up, sim_time) {
+            // The buffer feed going dark means clones toward buf1 are
+            // wasted egress capacity: prune the subscription.
+            if (id == "buf1-feed" && !up)
+                tbp->duplication->remove_subscriber(wire::experiments::iceberg,
+                                                    tbp->buf1->address());
+        });
+
+    // --- traffic, advert, flush ---
+    daq::steady_source source(drill_stream, cfg.message_bytes, cfg.message_interval,
+                              cfg.first_message, cfg.messages);
+    tb->messages_scheduled = tb->tx->drive(source);
+
+    eng.schedule_at(sim_time{10000},
+                    [tbp = tb.get()] { tbp->buf1_svc->advertise(tbp->rx_host->address()); });
+
+    eng.schedule_at(cfg.flush_at, [tbp = tb.get()] {
+        // Sequence numbers were assigned in-network; the end-of-window
+        // marker therefore reads the Tofino's own counter. Three copies:
+        // the marker crosses the (post-fault) WAN like everything else.
+        auto& st = tbp->tofino->state();
+        st.create_register("mode_seq", pnet::mode_transition_stage::seq_register_cells);
+        const auto cell = st.reg(
+            "mode_seq", drill_stream % pnet::mode_transition_stage::seq_register_cells);
+        wire::stream_flush_body body;
+        body.experiment = drill_stream;
+        body.epoch = static_cast<std::uint16_t>(cell >> 48);
+        body.next_sequence = cell & 0xffffffffffffull;
+        byte_writer w;
+        serialize(body, w);
+        for (int i = 0; i < 3; ++i) {
+            tbp->src_stack->send_control(tbp->rx_host->address(), drill_stream,
+                                         wire::control_type::stream_flush,
+                                         std::vector<std::uint8_t>(w.view().begin(),
+                                                                   w.view().end()));
+        }
+    });
+
+    // --- the fault script ---
+    // Snapshot first (same instant, scheduled earlier => runs earlier):
+    // datagrams delivered from here on were delivered despite the fault.
+    eng.schedule_at(cfg.fault_at, [tbp = tb.get()] {
+        tbp->datagrams_at_fault = tbp->rx->stats().datagrams;
+    });
+    tb->faults = std::make_unique<netsim::fault_scheduler>(eng);
+    tb->faults->fail_link_at(*tb->wan_primary, cfg.fault_at);
+    tb->faults->blackout_node(*tb->buf1, cfg.fault_at);
+    // The feed span dies a beat later: until then clones and the first
+    // NAK still reach the dead node and are dropped at its ingress.
+    tb->faults->fail_link_at(*tb->buf1_feed, cfg.fault_at + cfg.feed_cut_after);
+
+    // --- recovery measurement ---
+    tb->recovery = std::make_unique<telemetry::recovery_tracker>(eng, cfg.probe_interval);
+    tb->recovery->arm(
+        cfg.fault_at,
+        [tbp = tb.get()] {
+            // Whole again: the stream failed over to the surviving
+            // buffer and every known gap has been filled.
+            return tbp->rx->stats().buffer_failovers >= 1
+                && tbp->rx->outstanding_gaps() == 0;
+        },
+        cfg.fault_at + cfg.probe_deadline);
+
+    return tb;
+}
+
+chaos_result run_chaos_drill(const chaos_config& cfg)
+{
+    auto tb = make_chaos(cfg);
+    tb->net.sim().run();
+
+    chaos_result r;
+    r.rx = tb->rx->stats();
+    r.buf1 = tb->buf1_svc->stats();
+    r.buf2 = tb->buf2_svc->stats();
+    r.wan_primary = tb->wan_primary->stats();
+    r.wan_backup = tb->wan_backup->stats();
+    r.planner = tb->planner.stats();
+    r.health = tb->health->stats();
+    r.faults = tb->faults->stats();
+    r.messages_sent = tb->messages_scheduled;
+    r.datagrams_at_fault = tb->datagrams_at_fault;
+    r.delivered_despite_failure = r.rx.datagrams - tb->datagrams_at_fault;
+    r.stranded_in_primary_queue = tb->wan_primary->queue_depth_packets();
+    r.buf1_blackout_dropped = tb->buf1->blackout_dropped();
+    r.recovered = tb->recovery->recovered();
+    r.time_to_recover = tb->recovery->time_to_recover().value_or(sim_duration::zero());
+    r.probes = tb->recovery->probes();
+
+    auto& t = r.report;
+    t.set_columns({"metric", "value"});
+    auto row = [&](const char* name, std::uint64_t v) {
+        t.add_row({name, telemetry::fmt_count(v)});
+    };
+    row("messages_sent", r.messages_sent);
+    row("datagrams_delivered", r.rx.datagrams);
+    row("datagrams_at_fault", r.datagrams_at_fault);
+    row("delivered_despite_failure", r.delivered_despite_failure);
+    row("duplicates", r.rx.duplicates);
+    row("recovered_datagrams", r.rx.recovered);
+    row("naks_sent", r.rx.naks_sent);
+    row("nak_retries", r.rx.nak_retries);
+    row("buffer_failovers", r.rx.buffer_failovers);
+    row("given_up", r.rx.given_up);
+    row("stranded_in_primary_queue", r.stranded_in_primary_queue);
+    row("wan_primary_dropped_down", r.wan_primary.dropped_down);
+    row("wan_backup_tx_packets", r.wan_backup.tx_packets);
+    row("buf1_stored", r.buf1.relayed);
+    row("buf2_stored", r.buf2.relayed);
+    row("buf2_retransmitted", r.buf2.retransmitted);
+    row("buf1_blackout_dropped", r.buf1_blackout_dropped);
+    row("flows_rerouted", r.planner.flows_rerouted);
+    row("flows_stranded", r.planner.flows_stranded);
+    row("link_downs_observed", r.health.downs_observed);
+    row("fault_link_downs", r.faults.link_downs);
+    row("fault_node_blackouts", r.faults.node_blackouts);
+    row("recovered", r.recovered ? 1 : 0);
+    row("time_to_recover_ns",
+        static_cast<std::uint64_t>(r.recovered ? r.time_to_recover.ns : 0));
+    row("recovery_probes", r.probes);
+    r.csv = t.csv();
+    return r;
+}
+
+} // namespace mmtp::scenario

@@ -2,6 +2,29 @@
 
 namespace mmtp::telemetry {
 
+void recovery_tracker::arm(sim_time fault_at, health_fn healthy, sim_time deadline)
+{
+    fault_at_ = fault_at;
+    deadline_ = deadline;
+    healthy_ = std::move(healthy);
+    recovered_at_.reset();
+    probes_ = 0;
+    // First probe one interval after the fault: the fault instant itself
+    // is unhealthy by definition.
+    eng_.schedule_at(fault_at + interval_, [this] { probe(); });
+}
+
+void recovery_tracker::probe()
+{
+    probes_++;
+    if (healthy_ && healthy_()) {
+        recovered_at_ = eng_.now();
+        return;
+    }
+    if (eng_.now() + interval_ > deadline_) return; // give up
+    eng_.schedule_in(interval_, [this] { probe(); });
+}
+
 void rate_sampler::start(sim_time until)
 {
     last_value_ = counter_();

@@ -78,6 +78,44 @@ private:
     histogram latency_us_;
 };
 
+/// Measures time-to-recover after an injected fault: from the instant
+/// the fault fires, a deterministic periodic probe evaluates a health
+/// predicate and records the first instant it holds again. Probes ride
+/// the simulation engine, so the measurement is byte-identical across
+/// runs with the same seed and fault script.
+class recovery_tracker {
+public:
+    using health_fn = std::function<bool()>;
+
+    recovery_tracker(netsim::engine& eng, sim_duration probe_interval)
+        : eng_(eng), interval_(probe_interval)
+    {
+    }
+
+    /// Schedules probing of `healthy` starting at `fault_at` (the fault
+    /// instant) and gives up at `deadline` if health never returns.
+    void arm(sim_time fault_at, health_fn healthy, sim_time deadline);
+
+    bool recovered() const { return recovered_at_.has_value(); }
+    std::optional<sim_duration> time_to_recover() const
+    {
+        if (!recovered_at_) return std::nullopt;
+        return *recovered_at_ - fault_at_;
+    }
+    std::uint64_t probes() const { return probes_; }
+
+private:
+    void probe();
+
+    netsim::engine& eng_;
+    sim_duration interval_;
+    health_fn healthy_;
+    sim_time fault_at_{sim_time::zero()};
+    sim_time deadline_{sim_time::zero()};
+    std::optional<sim_time> recovered_at_;
+    std::uint64_t probes_{0};
+};
+
 /// Periodically samples a cumulative byte counter into Mbps readings.
 class rate_sampler {
 public:

@@ -31,19 +31,26 @@ void table::print() const
     for (const auto& row : rows_) print_row(row);
 }
 
+std::string table::csv() const
+{
+    std::string out;
+    auto write_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) out.push_back(',');
+            out.append(cells[c]);
+        }
+        out.push_back('\n');
+    };
+    write_row(columns_);
+    for (const auto& row : rows_) write_row(row);
+    return out;
+}
+
 bool table::write_csv(const std::string& path) const
 {
     std::ofstream out(path);
     if (!out) return false;
-    auto write_row = [&](const std::vector<std::string>& cells) {
-        for (std::size_t c = 0; c < cells.size(); ++c) {
-            if (c) out << ',';
-            out << cells[c];
-        }
-        out << '\n';
-    };
-    write_row(columns_);
-    for (const auto& row : rows_) write_row(row);
+    out << csv();
     return static_cast<bool>(out);
 }
 

@@ -20,6 +20,11 @@ public:
     /// Renders aligned columns to stdout.
     void print() const;
 
+    /// Renders the table as CSV text. Deterministic: identical rows
+    /// produce identical bytes, which is how chaos drills verify that
+    /// two same-seed runs emit byte-identical telemetry.
+    std::string csv() const;
+
     /// Writes a CSV file; returns false on I/O failure.
     bool write_csv(const std::string& path) const;
 

@@ -78,6 +78,7 @@ void serialize(const buffer_advert_body& b, byte_writer& w)
     w.u32(b.buffer_addr);
     w.u64(b.capacity_bytes);
     w.u32(b.retention_ms);
+    w.u32(b.secondary_addr);
 }
 
 std::optional<buffer_advert_body> parse_buffer_advert(std::span<const std::uint8_t> data)
@@ -87,6 +88,7 @@ std::optional<buffer_advert_body> parse_buffer_advert(std::span<const std::uint8
     b.buffer_addr = r.u32();
     b.capacity_bytes = r.u64();
     b.retention_ms = r.u32();
+    b.secondary_addr = r.u32();
     if (r.failed()) return std::nullopt;
     return b;
 }

@@ -57,10 +57,14 @@ struct deadline_exceeded_body {
 };
 
 /// A retransmission buffer advertising itself to the control plane.
+/// `secondary_addr` (0 = none) names an alternate buffer holding the
+/// same streams — receivers fail NAKs over to it when the primary stops
+/// answering ("another retransmission buffer becomes available", §5.1).
 struct buffer_advert_body {
     ipv4_addr buffer_addr{0};
     std::uint64_t capacity_bytes{0};
     std::uint32_t retention_ms{0};
+    ipv4_addr secondary_addr{0};
 
     bool operator==(const buffer_advert_body&) const = default;
 };

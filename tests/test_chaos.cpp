@@ -1,0 +1,68 @@
+// Chaos drill acceptance tests: the coordinated WAN + buffer failure
+// must be survived (rerouted, failed over, zero given-up sequences, a
+// finite time-to-recover) and must be perfectly reproducible (two
+// same-seed runs emit byte-identical telemetry).
+#include "scenario/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace mmtp;
+using namespace mmtp::scenario;
+
+TEST(chaos_drill, survives_coordinated_wan_and_buffer_failure)
+{
+    const auto r = run_chaos_drill(chaos_config{});
+
+    // The fault fired as scripted and the control plane saw it.
+    EXPECT_EQ(r.faults.link_downs, 2u);      // wan-primary + buf1 feed
+    EXPECT_EQ(r.faults.node_blackouts, 1u);  // buf1
+    EXPECT_EQ(r.health.downs_observed, 2u);
+    EXPECT_EQ(r.planner.flows_rerouted, 1u);
+    EXPECT_EQ(r.planner.flows_stranded, 0u);
+
+    // The fault actually created loss to recover from.
+    EXPECT_GT(r.stranded_in_primary_queue, 0u);
+    EXPECT_GT(r.wan_backup.tx_packets, 0u); // traffic moved to the backup
+
+    // Recovery: NAKs failed over to the surviving buffer, which answered.
+    EXPECT_EQ(r.rx.buffer_failovers, 1u);
+    EXPECT_GT(r.rx.nak_retries, 0u);
+    EXPECT_GT(r.buf2.retransmitted, 0u);
+    EXPECT_GT(r.buf1_blackout_dropped, 0u); // the primary never answered
+
+    // Acceptance: nothing abandoned, every message delivered exactly
+    // once, and the tracker measured a finite time-to-recover.
+    EXPECT_EQ(r.rx.given_up, 0u);
+    EXPECT_EQ(r.rx.datagrams, r.messages_sent);
+    EXPECT_GT(r.delivered_despite_failure, 0u);
+    ASSERT_TRUE(r.recovered);
+    EXPECT_GT(r.time_to_recover.ns, 0);
+    EXPECT_LT(r.time_to_recover.ns, chaos_config{}.probe_deadline.ns);
+}
+
+TEST(chaos_drill, same_seed_runs_emit_byte_identical_telemetry)
+{
+    const auto a = run_chaos_drill(chaos_config{});
+    const auto b = run_chaos_drill(chaos_config{});
+    ASSERT_FALSE(a.csv.empty());
+    EXPECT_EQ(a.csv, b.csv);
+    EXPECT_EQ(a.time_to_recover.ns, b.time_to_recover.ns);
+    EXPECT_EQ(a.rx.naks_sent, b.rx.naks_sent);
+}
+
+TEST(chaos_drill, duplication_subscriber_pruned_on_feed_failure)
+{
+    chaos_config cfg;
+    auto tb = make_chaos(cfg);
+    EXPECT_EQ(tb->duplication->subscriber_count(wire::experiments::iceberg), 2u);
+    tb->net.sim().run();
+    // The health listener removed buf1 when its feed went down.
+    EXPECT_EQ(tb->duplication->subscriber_count(wire::experiments::iceberg), 1u);
+    // And the planner's view of the primary span is down, budget-free.
+    EXPECT_FALSE(tb->planner.link_up("wan-primary"));
+    EXPECT_EQ(tb->planner.available("wan-primary").bits_per_sec, 0u);
+    // The rerouted flow now runs on the backup path.
+    ASSERT_NE(tb->planner.flow(tb->flow), nullptr);
+    EXPECT_EQ(tb->planner.flow(tb->flow)->path,
+              (std::vector<control::link_id>{"daq", "wan-backup"}));
+}

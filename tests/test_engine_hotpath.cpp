@@ -5,6 +5,7 @@
 // seeded integration run) depends on.
 #include "common/inline_task.hpp"
 #include "netsim/engine.hpp"
+#include "netsim/fault.hpp"
 #include "netsim/network.hpp"
 #include "netsim/queue.hpp"
 
@@ -223,6 +224,49 @@ TEST(link_stats, tx_and_random_drops_reconcile_with_dequeues)
     EXPECT_GT(ls.tx_packets, 0u);
     // Lost packets still occupied the serializer: busy covers all dequeues.
     EXPECT_EQ(ls.busy.ns, static_cast<std::int64_t>(n) * 800); // 800 ns/kB at 10G
+}
+
+// The reconciliation identity must survive fault injection: down-drops
+// happen before the queue (their own counter), so with a flap storm and
+// random loss active it still holds that every dequeued packet is either
+// tx'd or randomly dropped — and every send() is accounted exactly once.
+TEST(link_stats, reconciliation_holds_with_faults_active)
+{
+    network net(11);
+    auto& sink = net.emplace<counting_sink>("sink");
+    auto& src = net.add_host("src");
+    link_config cfg;
+    cfg.rate = data_rate::from_gbps(10);
+    cfg.propagation = 1_us;
+    cfg.drop_probability = 0.15;
+    const auto port = net.connect_simplex(src, sink, cfg);
+    auto& l = src.egress(port);
+
+    fault_scheduler faults(net.sim());
+    faults.flap_link(l, sim_time{100000}, sim_duration{150000}, sim_duration{250000}, 4);
+
+    constexpr std::uint64_t n = 2000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        net.sim().schedule_at(sim_time{static_cast<std::int64_t>(i) * 1000},
+                              [&l, i] { l.send(make_pkt(i + 1, 1000)); });
+    }
+    net.sim().run();
+
+    const auto& ls = l.stats();
+    const auto& qs = l.queue_statistics();
+    // The storm bit: some sends were refused, some dequeues were lost.
+    EXPECT_GT(ls.dropped_down, 0u);
+    EXPECT_GT(ls.dropped_random, 0u);
+    // PR-1 identity, unchanged by faults: dequeued splits into tx + random.
+    EXPECT_EQ(ls.tx_packets + ls.dropped_random, qs.dequeued);
+    EXPECT_EQ(ls.tx_bytes + ls.dropped_random_bytes, qs.dequeued * 1000);
+    // Down-drops are refused pre-queue: enqueues + passthroughs account
+    // for exactly the sends that were not refused, and nothing stranded.
+    EXPECT_EQ(qs.enqueued + ls.dropped_down, n);
+    EXPECT_EQ(qs.dropped, 0u);
+    EXPECT_EQ(l.queue_depth_packets(), 0u); // final repair drained it
+    EXPECT_EQ(ls.dropped_down_bytes, ls.dropped_down * 1000);
+    EXPECT_EQ(sink.arrivals, ls.tx_packets);
 }
 
 // The idle-link cut-through must be invisible in the statistics: a lone

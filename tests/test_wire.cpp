@@ -232,7 +232,7 @@ TEST(control, deadline_exceeded_roundtrip)
 
 TEST(control, buffer_advert_roundtrip)
 {
-    buffer_advert_body b{0x0a000102, 1ull << 33, 5000};
+    buffer_advert_body b{0x0a000102, 1ull << 33, 5000, 0x0a000103};
     byte_writer w;
     serialize(b, w);
     const auto parsed = parse_buffer_advert(w.view());
