@@ -8,7 +8,9 @@
 //      through a 3-hop chain (src → r1 → r2 → sink) of store-and-forward
 //      relays — measures the per-packet event path (enqueue, serialize,
 //      arrival closure, receive) and counts heap allocations per packet in
-//      steady state via a global operator new hook.
+//      steady state via a global operator new hook. Runs twice: once bare
+//      and once with a flight recorder installed and every link named, to
+//      price the tracing hooks on the hot path (still zero allocations).
 //
 // Emits machine-readable JSON to BENCH_engine.json (and stdout) so the
 // perf trajectory is tracked across PRs. The `baseline` block holds the
@@ -16,6 +18,7 @@
 // std::function + vector-backed headers, commit e8b25ab) on the same
 // machine class; `current` is measured at runtime.
 
+#include "common/trace.hpp"
 #include "netsim/engine.hpp"
 #include "netsim/network.hpp"
 
@@ -24,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <optional>
 
 // ---------------------------------------------------------------- alloc hook
 
@@ -149,7 +153,7 @@ struct injector {
     }
 };
 
-forward_result run_forward()
+forward_result run_forward(bool traced)
 {
     constexpr std::uint64_t warm_packets = 20000;
     constexpr std::uint64_t measured_packets = 300000;
@@ -167,6 +171,17 @@ forward_result run_forward()
     net.connect_simplex(src, r1, cfg);
     net.connect_simplex(r1, r2, cfg);
     net.connect_simplex(r2, sink, cfg);
+
+    // Traced variant: the recorder's ring is preallocated here, before
+    // the measured window; emitting must stay allocation-free.
+    trace::flight_recorder rec;
+    std::optional<trace::scoped_recorder> install;
+    if (traced) {
+        install.emplace(rec);
+        src.egress(0).set_trace_site(rec.site("src-r1"));
+        r1.egress(0).set_trace_site(rec.site("r1-r2"));
+        r2.egress(0).set_trace_site(rec.site("r2-sink"));
+    }
 
     injector inj;
     inj.net = &net;
@@ -211,9 +226,12 @@ constexpr double baseline_allocs_per_packet = 10.6;          // headers + std::f
 int main()
 {
     const auto churn = run_churn();
-    const auto fwd = run_forward();
+    const auto fwd = run_forward(false);
+    const auto fwd_traced = run_forward(true);
+    const double trace_overhead_pct =
+        100.0 * (1.0 - fwd_traced.events_per_sec / fwd.events_per_sec);
 
-    char buf[2048];
+    char buf[2560];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -232,7 +250,10 @@ int main()
         "    \"forward_events\": %llu,\n"
         "    \"forward_events_per_sec\": %.0f,\n"
         "    \"forward_packets_per_sec\": %.0f,\n"
-        "    \"forward_allocs_per_packet\": %.4f\n"
+        "    \"forward_allocs_per_packet\": %.4f,\n"
+        "    \"traced_forward_events_per_sec\": %.0f,\n"
+        "    \"traced_forward_allocs_per_packet\": %.4f,\n"
+        "    \"trace_overhead_pct\": %.1f\n"
         "  }\n"
         "}\n",
         baseline_churn_events_per_sec, baseline_forward_events_per_sec,
@@ -240,7 +261,8 @@ int main()
         static_cast<unsigned long long>(churn.events), churn.events_per_sec,
         static_cast<unsigned long long>(fwd.packets),
         static_cast<unsigned long long>(fwd.events), fwd.events_per_sec,
-        fwd.packets_per_sec, fwd.allocs_per_packet);
+        fwd.packets_per_sec, fwd.allocs_per_packet, fwd_traced.events_per_sec,
+        fwd_traced.allocs_per_packet, trace_overhead_pct);
 
     std::fputs(buf, stdout);
     if (std::FILE* f = std::fopen("BENCH_engine.json", "w")) {

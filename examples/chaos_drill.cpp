@@ -44,9 +44,26 @@ int main()
                 static_cast<unsigned long long>(r.delivered_despite_failure),
                 static_cast<unsigned long long>(r.rx.given_up));
 
-    auto r2 = scenario::run_chaos_drill(cfg);
-    std::printf("same-seed rerun telemetry identical: %s\n",
-                r.csv == r2.csv ? "yes" : "NO — determinism broken");
+    // Hop-by-hop story of one failed-over message: sequenced at the
+    // Tofino, cloned into the taps, NAKed after the fault, re-sent by
+    // buf2 and delivered across the backup WAN span.
+    if (r.traced_sequence != std::uint64_t(-1)) {
+        std::printf("\nhop timeline of failed-over message (sequence %llu):\n%s",
+                    static_cast<unsigned long long>(r.traced_sequence),
+                    r.hop_timeline.c_str());
+        std::printf("traversed backup span after the fault: %s\n",
+                    r.traversed_backup ? "yes" : "NO");
+    } else {
+        std::printf("\nno failed-over message traced\n");
+    }
 
-    return r.recovered && r.rx.given_up == 0 && r.csv == r2.csv ? 0 : 1;
+    std::printf("\nmetrics snapshot:\n%s", r.metrics_csv.c_str());
+
+    auto r2 = scenario::run_chaos_drill(cfg);
+    const bool identical = r.csv == r2.csv && r.hop_timeline == r2.hop_timeline
+        && r.metrics_csv == r2.metrics_csv;
+    std::printf("\nsame-seed rerun telemetry identical: %s\n",
+                identical ? "yes" : "NO — determinism broken");
+
+    return r.recovered && r.rx.given_up == 0 && identical && r.traversed_backup ? 0 : 1;
 }

@@ -62,7 +62,7 @@ double histogram::mean() const
 std::uint64_t histogram::percentile(double p) const
 {
     if (count_ == 0) return 0;
-    if (p < 0.0) p = 0.0;
+    if (!(p >= 0.0)) p = 0.0; // also catches NaN (comparisons are false)
     if (p > 100.0) p = 100.0;
     const auto target = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
     std::uint64_t seen = 0;

@@ -1,5 +1,6 @@
 #include "mmtp/buffer_service.hpp"
 
+#include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
 namespace mmtp::core {
@@ -110,8 +111,11 @@ void buffer_service::handle_nak(const wire::nak_body& nak, wire::experiment_id e
                 entry.size_bytes > entry.inline_payload.size()
                     ? entry.size_bytes - entry.inline_payload.size()
                     : 0;
-            stack_.send_datagram(nak.requester, h, entry.inline_payload, extra_virtual);
+            const std::uint64_t pid =
+                stack_.send_datagram(nak.requester, h, entry.inline_payload, extra_virtual);
             stats_.retransmitted++;
+            // Binding record: ties the fresh packet id to the sequence.
+            trace::emit(now, trace_site_, trace::hop::mmtp_retransmit, pid, entry.sequence);
         }
     }
 }

@@ -67,6 +67,9 @@ public:
     const buffer_service_stats& stats() const { return stats_; }
     const dtn::retransmission_buffer& buffer() const { return buffer_; }
 
+    /// Interned flight-recorder site id for retransmit records (0 = unnamed).
+    void set_trace_site(std::uint32_t site) { trace_site_ = site; }
+
     /// Announce this buffer to a control-plane collector.
     void advertise(wire::ipv4_addr collector);
 
@@ -85,6 +88,7 @@ private:
     dtn::retransmission_buffer buffer_;
     buffer_service_stats stats_;
     std::unordered_map<std::uint32_t, std::uint64_t> seq_counters_;
+    std::uint32_t trace_site_{0};
 };
 
 } // namespace mmtp::core

@@ -1,5 +1,6 @@
 #include "mmtp/receiver.hpp"
 
+#include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
 namespace mmtp::core {
@@ -99,6 +100,9 @@ void receiver::on_data(delivered_datagram&& d)
 
     stats_.datagrams++;
     stats_.bytes += d.total_payload_bytes;
+    // Binding record: for sequenced streams arg is the sequence number.
+    trace::emit(now, trace_site_, trace::hop::mmtp_deliver, d.packet_id,
+                h.sequencing ? h.sequencing->sequence : 0);
     if (on_datagram_) on_datagram_(d);
 }
 
@@ -106,7 +110,7 @@ void receiver::schedule_check(const stream_key& k, sim_duration delay)
 {
     auto& st = streams_[k];
     st.check_scheduled = true;
-    stack_.sim().schedule_in(delay, [this, k] { run_check(k); });
+    stack_.sim().schedule_in(delay, netsim::task_class::protocol, [this, k] { run_check(k); });
 }
 
 sim_duration receiver::retry_interval(std::uint32_t attempts) const
@@ -147,6 +151,7 @@ void receiver::run_check(const stream_key& k)
                 continue;
             st.failed_over = true;
             stats_.buffer_failovers++;
+            trace::emit(now, trace_site_, trace::hop::mmtp_failover, 0, fallback_buffer_);
             for (auto& [start, g] : st.gaps) {
                 (void)start;
                 g.attempts = 0;
@@ -181,6 +186,8 @@ void receiver::run_check(const stream_key& k)
             // Unrecoverable: resolve the gap so delivery accounting moves
             // on, and report each abandoned sequence.
             stats_.given_up += b - a;
+            trace::emit(now, trace_site_, trace::hop::mmtp_giveup, 0,
+                        trace::pack_range(a, b - a));
             if (on_loss_)
                 for (std::uint64_t s = a; s < b; ++s) on_loss_(k.experiment, k.epoch, s);
             st.received.insert(a, b);
@@ -190,6 +197,7 @@ void receiver::run_check(const stream_key& k)
             || (now - g.last_nak).ns >= retry_interval(g.attempts).ns;
         if (!due) continue;
         nak.ranges.push_back({a, b - 1});
+        trace::emit(now, trace_site_, trace::hop::mmtp_nak, 0, trace::pack_range(a, b - a));
         g.last_nak = now;
         g.attempts++;
         if (g.attempts > 1) stats_.nak_retries++;

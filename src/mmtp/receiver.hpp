@@ -74,6 +74,10 @@ public:
 
     const receiver_stats& stats() const { return stats_; }
 
+    /// Interned flight-recorder site id for deliver/NAK/failover records
+    /// (0 = unnamed).
+    void set_trace_site(std::uint32_t site) { trace_site_ = site; }
+
     /// Sequences currently believed missing across all streams.
     std::uint64_t outstanding_gaps() const;
 
@@ -109,6 +113,7 @@ private:
     receiver_stats stats_;
     std::map<stream_key, stream_state> streams_;
     wire::ipv4_addr fallback_buffer_{0};
+    std::uint32_t trace_site_{0};
     datagram_cb on_datagram_;
     loss_cb on_loss_;
 };

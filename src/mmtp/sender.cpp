@@ -1,5 +1,6 @@
 #include "mmtp/sender.hpp"
 
+#include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
 namespace mmtp::core {
@@ -94,9 +95,8 @@ std::uint64_t sender::drive(daq::message_source& src, std::uint64_t limit)
         auto tm = src.next();
         if (!tm) break;
         n++;
-        stack_.sim().schedule_at(tm->at, [this, msg = std::move(tm->msg)] {
-            send_message(msg);
-        });
+        stack_.sim().schedule_at(tm->at, netsim::task_class::protocol,
+                                 [this, msg = std::move(tm->msg)] { send_message(msg); });
     }
     return n;
 }
@@ -121,7 +121,7 @@ void sender::pump()
         if (pace_ready_ > now) {
             if (!pump_scheduled_) {
                 pump_scheduled_ = true;
-                eng.schedule_at(pace_ready_, [this] {
+                eng.schedule_at(pace_ready_, netsim::task_class::protocol, [this] {
                     pump_scheduled_ = false;
                     pump();
                 });
@@ -143,12 +143,15 @@ void sender::transmit(wire::header h, std::vector<std::uint8_t> payload,
                       std::uint64_t extra_virtual)
 {
     stats_.datagrams++;
-    stats_.bytes += payload.size() + extra_virtual;
+    const std::uint64_t bytes = payload.size() + extra_virtual;
+    stats_.bytes += bytes;
+    std::uint64_t pid;
     if (dst_) {
-        stack_.send_datagram(*dst_, h, std::move(payload), extra_virtual);
+        pid = stack_.send_datagram(*dst_, h, std::move(payload), extra_virtual);
     } else {
-        stack_.send_datagram_l2(l2_port_, h, std::move(payload), extra_virtual);
+        pid = stack_.send_datagram_l2(l2_port_, h, std::move(payload), extra_virtual);
     }
+    trace::emit(stack_.sim().now(), trace_site_, trace::hop::mmtp_send, pid, bytes);
 }
 
 } // namespace mmtp::core

@@ -76,6 +76,9 @@ public:
     void reroute(wire::ipv4_addr new_dst);
     std::uint16_t epoch() const { return epoch_; }
 
+    /// Interned flight-recorder site id for send records (0 = unnamed).
+    void set_trace_site(std::uint32_t site) { trace_site_ = site; }
+
 private:
     void on_backpressure(const wire::backpressure_body& b);
     void enqueue_datagram(wire::header h, std::vector<std::uint8_t> payload,
@@ -101,6 +104,7 @@ private:
     std::uint8_t bp_level_{0};
     sim_time bp_until_{sim_time::zero()};
     std::uint16_t epoch_{0};
+    std::uint32_t trace_site_{0};
 };
 
 } // namespace mmtp::core

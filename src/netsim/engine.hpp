@@ -19,11 +19,39 @@
 #include "common/inline_task.hpp"
 #include "common/units.hpp"
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 namespace mmtp::netsim {
+
+/// Coarse handler classes for engine profiling. Schedulers may tag each
+/// event; untagged events count as `generic`. The tag rides in padding of
+/// the heap key, so tagging costs nothing in size or ordering.
+enum class task_class : std::uint8_t {
+    generic = 0,
+    timer,        // telemetry probes, samplers, scripted scenario steps
+    link_tx,      // link serializer-free events
+    link_arrival, // packet arrival at the far end of a link
+    pipeline,     // programmable-element pipeline egress
+    protocol,     // MMTP/TCP/UDP endpoint timers and pumps
+    control,      // fault scheduler, control-plane events
+};
+constexpr std::size_t task_class_count = 7;
+
+const char* task_class_name(task_class c);
+
+/// Per-handler-class event counts plus simulated-vs-wall accounting,
+/// filled in by engine::run()/run_until(). Event counts are deterministic
+/// for a deterministic schedule; wall_seconds is measurement-only and
+/// must stay out of byte-compared telemetry.
+struct engine_profile {
+    std::array<std::uint64_t, task_class_count> executed_by_class{};
+    std::uint64_t executed{0};
+    /// Wall-clock time spent inside run()/run_until() dispatch loops.
+    double wall_seconds{0.0};
+};
 
 class engine {
 public:
@@ -43,7 +71,14 @@ public:
     template <typename F>
     void schedule_at(sim_time at, F&& fn)
     {
-        park(at < now_ ? now_ : at, std::forward<F>(fn));
+        park(at < now_ ? now_ : at, task_class::generic, std::forward<F>(fn));
+    }
+
+    /// Tagged variant: the event is attributed to `tc` in profile().
+    template <typename F>
+    void schedule_at(sim_time at, task_class tc, F&& fn)
+    {
+        park(at < now_ ? now_ : at, tc, std::forward<F>(fn));
     }
 
     /// Schedules `fn` after `delay` (clamped to >= 0).
@@ -51,7 +86,15 @@ public:
     void schedule_in(sim_duration delay, F&& fn)
     {
         if (delay.ns < 0) delay = sim_duration::zero();
-        park(now_ + delay, std::forward<F>(fn));
+        park(now_ + delay, task_class::generic, std::forward<F>(fn));
+    }
+
+    /// Tagged variant: the event is attributed to `tc` in profile().
+    template <typename F>
+    void schedule_in(sim_duration delay, task_class tc, F&& fn)
+    {
+        if (delay.ns < 0) delay = sim_duration::zero();
+        park(now_ + delay, tc, std::forward<F>(fn));
     }
 
     /// Runs events until the queue empties. Returns events executed.
@@ -66,6 +109,8 @@ public:
         if (events_.empty()) return false;
         const key k = events_.pop_move();
         now_ = k.at;
+        profile_.executed_by_class[static_cast<std::size_t>(k.tag)]++;
+        profile_.executed++;
         // Run the task in place — slab blocks are address-stable, and the
         // slot is only recycled (below) after the callback returns, so
         // reentrant scheduling is safe without moving the closure out.
@@ -77,11 +122,15 @@ public:
     bool empty() const { return events_.empty(); }
     std::size_t pending() const { return events_.size(); }
 
+    /// Event counts by handler class and dispatch wall time so far.
+    const engine_profile& profile() const { return profile_; }
+
 private:
     struct key {
         sim_time at;
         std::uint64_t seq;
         std::uint32_t slot;
+        task_class tag;
     };
     struct sooner {
         bool operator()(const key& a, const key& b) const
@@ -103,7 +152,7 @@ private:
     }
 
     template <typename F>
-    void park(sim_time at, F&& fn)
+    void park(sim_time at, task_class tc, F&& fn)
     {
         std::uint32_t slot;
         if (!free_slots_.empty()) {
@@ -115,7 +164,7 @@ private:
             slot = task_count_++;
         }
         task_at(slot).emplace(std::forward<F>(fn));
-        events_.push(key{at, next_seq_++, slot});
+        events_.push(key{at, next_seq_++, slot, tc});
     }
 
     sim_time now_{sim_time::zero()};
@@ -124,6 +173,7 @@ private:
     std::vector<std::unique_ptr<action[]>> blocks_;
     std::uint32_t task_count_{0};
     std::vector<std::uint32_t> free_slots_;
+    engine_profile profile_;
 };
 
 } // namespace mmtp::netsim

@@ -20,6 +20,8 @@ void link::set_up(bool up)
 {
     if (up_ == up) return;
     up_ = up;
+    trace::emit(eng_.now(), trace_site_, up_ ? trace::hop::link_up : trace::hop::link_down,
+                0, queue_->packet_depth());
     if (state_watcher_) state_watcher_(up_);
     // Repair restarts the serializer on whatever survived in the queue.
     if (up_) kick();
@@ -27,29 +29,40 @@ void link::set_up(bool up)
 
 void link::send(packet&& p)
 {
+    const std::uint64_t pid = p.id;
+    const std::uint64_t wire = p.wire_size();
     if (!up_) {
         stats_.dropped_down++;
-        stats_.dropped_down_bytes += p.wire_size();
+        stats_.dropped_down_bytes += wire;
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_drop, pid, wire,
+                    trace::reason::link_down);
         return;
     }
-    if (p.wire_size() > cfg_.mtu) {
+    if (wire > cfg_.mtu) {
         stats_.dropped_oversize++;
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_drop, pid, wire,
+                    trace::reason::oversize);
         return;
     }
     // Cut-through: an idle serializer with an empty queue takes the
     // packet directly — same timing, same statistics, two fewer moves.
     // Depth watchers disable it (they must observe the transient depth).
     if (!busy_ && !depth_watcher_ && queue_->empty() && queue_->would_accept(p)) {
-        queue_->note_passthrough(p.wire_size());
+        queue_->note_passthrough(wire);
         busy_ = true;
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_enqueue, pid, wire);
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_dequeue, pid, wire);
         transmit(std::move(p));
         return;
     }
     if (!queue_->enqueue(std::move(p))) {
         // queue discipline recorded the drop
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_drop, pid, wire,
+                    trace::reason::queue_full);
         if (depth_watcher_) depth_watcher_(queue_->byte_depth());
         return;
     }
+    trace::emit(eng_.now(), trace_site_, trace::hop::link_enqueue, pid, wire);
     if (depth_watcher_) depth_watcher_(queue_->byte_depth());
     kick();
 }
@@ -59,6 +72,7 @@ void link::kick()
     if (busy_ || !up_) return;
     packet next;
     if (!queue_->dequeue_into(next)) return;
+    trace::emit(eng_.now(), trace_site_, trace::hop::link_dequeue, next.id, next.wire_size());
     busy_ = true;
     transmit(std::move(next));
 }
@@ -74,6 +88,8 @@ void link::transmit(packet&& p)
     if (cfg_.drop_probability > 0.0 && noise_.chance(cfg_.drop_probability)) {
         stats_.dropped_random++;
         stats_.dropped_random_bytes += wire;
+        trace::emit(eng_.now(), trace_site_, trace::hop::link_drop, p.id, wire,
+                    trace::reason::random_loss);
         drop = true;
     } else {
         stats_.tx_packets++;
@@ -84,6 +100,7 @@ void link::transmit(packet&& p)
         if (noise_.chance(pkt_prob < 1.0 ? pkt_prob : 1.0)) {
             stats_.corrupted++;
             p.corrupted = true; // delivered, then dropped by the receiver
+            trace::emit(eng_.now(), trace_site_, trace::hop::link_corrupt, p.id, wire);
         }
     }
 
@@ -95,11 +112,11 @@ void link::transmit(packet&& p)
         };
         static_assert(inline_task::stored_inline<decltype(arrival)>,
                       "link arrival closure must not heap-allocate");
-        eng_.schedule_in(tx + cfg_.propagation, std::move(arrival));
+        eng_.schedule_in(tx + cfg_.propagation, task_class::link_arrival, std::move(arrival));
     }
 
     // Serializer frees after the transmission time; send the next packet.
-    eng_.schedule_in(tx, [this] {
+    eng_.schedule_in(tx, task_class::link_tx, [this] {
         busy_ = false;
         kick();
     });

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "common/units.hpp"
 #include "netsim/queue.hpp"
 
@@ -100,6 +101,11 @@ public:
     /// this for burst-corruption windows).
     void set_bit_error_rate(double ber) { cfg_.bit_error_rate = ber; }
 
+    /// Interned flight-recorder site id for hop records this link emits
+    /// (0 = unnamed; records still flow, just without a site label).
+    void set_trace_site(std::uint32_t site) { trace_site_ = site; }
+    std::uint32_t trace_site() const { return trace_site_; }
+
 private:
     void kick();
     void transmit(packet&& p);
@@ -112,6 +118,7 @@ private:
     std::unique_ptr<queue_disc> queue_;
     bool busy_{false};
     bool up_{true};
+    std::uint32_t trace_site_{0};
     link_stats stats_;
     std::function<void(std::uint64_t)> depth_watcher_;
     std::function<void(bool)> state_watcher_;

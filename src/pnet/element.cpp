@@ -1,5 +1,6 @@
 #include "pnet/element.hpp"
 
+#include "common/trace.hpp"
 #include "netsim/link.hpp"
 
 #include <cassert>
@@ -54,10 +55,14 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
     if (p.corrupted) {
         // Store-and-forward element: FCS fails, frame dropped here.
         stats_.dropped_corrupted++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, p.id, 0,
+                    trace::reason::corrupted);
         return;
     }
     if (p.hops > 64) { // loop backstop
         stats_.dropped_malformed++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, p.id, 0,
+                    trace::reason::malformed);
         return;
     }
 
@@ -67,6 +72,8 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
     ctx.now = eng_.now();
     if (!parse_context(ctx)) {
         stats_.dropped_malformed++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, ctx.pkt.id, 0,
+                    trace::reason::malformed);
         return;
     }
 
@@ -86,6 +93,8 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
 
     if (ctx.drop) {
         stats_.dropped_by_pipeline++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, ctx.pkt.id, 0,
+                    trace::reason::pipeline);
         return;
     }
 
@@ -103,6 +112,9 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
             cc.dst_override = dst;
             deparse_context(cc);
             stats_.clones++;
+            // Binding record: ties the clone's fresh id to its parent's.
+            trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_clone, cc.pkt.id,
+                        ctx.pkt.id);
             forward(std::move(cc.pkt), dst, false);
         }
     }
@@ -113,6 +125,8 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
         // DAQ-network L2 segment: one upstream port toward the first DTN.
         if (l2_uplink_ == netsim::no_port || l2_uplink_ >= port_count()) {
             stats_.dropped_unroutable++;
+            trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, ctx.pkt.id, 0,
+                        trace::reason::unroutable);
             return;
         }
         auto pkt = std::move(ctx.pkt);
@@ -123,11 +137,13 @@ void programmable_switch::receive(netsim::packet&& p, unsigned ingress_port)
         };
         static_assert(netsim::engine::action::stored_inline<decltype(push)>,
                       "switch egress closure must not heap-allocate");
-        eng_.schedule_in(delay, std::move(push));
+        eng_.schedule_in(delay, netsim::task_class::pipeline, std::move(push));
         return;
     }
     if (!ctx.ip) {
         stats_.dropped_unroutable++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, ctx.pkt.id, 0,
+                    trace::reason::unroutable);
         return;
     }
     const auto dst = ctx.dst_override.value_or(ctx.ip->dst);
@@ -139,6 +155,8 @@ void programmable_switch::forward(netsim::packet&& p, wire::ipv4_addr dst, bool 
     const unsigned port = route(dst);
     if (port == netsim::no_port || port >= port_count()) {
         stats_.dropped_unroutable++;
+        trace::emit(eng_.now(), state_.trace_site, trace::hop::sw_drop, p.id, 0,
+                    trace::reason::unroutable);
         return;
     }
     stats_.forwarded++;
@@ -147,7 +165,7 @@ void programmable_switch::forward(netsim::packet&& p, wire::ipv4_addr dst, bool 
     };
     static_assert(netsim::engine::action::stored_inline<decltype(push)>,
                   "switch egress closure must not heap-allocate");
-    eng_.schedule_in(profile_.pipeline_latency, std::move(push));
+    eng_.schedule_in(profile_.pipeline_latency, netsim::task_class::pipeline, std::move(push));
 }
 
 } // namespace mmtp::pnet

@@ -33,6 +33,9 @@ public:
     std::uint64_t counter(const std::string& name) const;
 
     wire::ipv4_addr element_addr{0};
+    /// Interned flight-recorder site id for this element — stages read it
+    /// to label the hop records they emit (0 = unnamed).
+    std::uint32_t trace_site{0};
 
 private:
     std::unordered_map<std::string, std::vector<std::uint64_t>> registers_;

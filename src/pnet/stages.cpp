@@ -1,6 +1,7 @@
 #include "pnet/stages.hpp"
 
 #include "common/bytes.hpp"
+#include "common/trace.hpp"
 #include "netsim/link.hpp"
 
 namespace mmtp::pnet {
@@ -56,6 +57,9 @@ void mode_transition_stage::process(packet_context& ctx, element_state& state)
             f.epoch = static_cast<std::uint16_t>(cell >> 48);
             cell++;
             h.sequencing = f;
+            // Binding record: ties this packet id to its sequence number.
+            trace::emit(ctx.now, state.trace_site, trace::hop::sw_seq_insert, ctx.pkt.id,
+                        f.sequence);
         }
         if (!h.m.has(wire::feature::sequencing)) h.sequencing.reset();
 
@@ -100,6 +104,8 @@ void mode_transition_stage::process(packet_context& ctx, element_state& state)
 
         ctx.headers_dirty = true;
         state.bump("mode_transitions");
+        trace::emit(ctx.now, state.trace_site, trace::hop::sw_mode_rewrite, ctx.pkt.id,
+                    h.m.cfg_data);
         break; // first matching rule wins, P4-table style
     }
 }
@@ -121,6 +127,8 @@ void age_update_stage::process(packet_context& ctx, element_state& state)
         const auto age_ns = ctx.now.ns - static_cast<std::int64_t>(*h.timestamp_ns);
         t.age_us = age_ns > 0 ? static_cast<std::uint32_t>(age_ns / 1000) : 0;
         ctx.headers_dirty = true;
+        trace::emit(ctx.now, state.trace_site, trace::hop::sw_age_update, ctx.pkt.id,
+                    t.age_us);
     }
 
     if (t.deadline_us > 0 && t.age_us > t.deadline_us) {
@@ -196,6 +204,8 @@ void backpressure_stage::process(packet_context& ctx, element_state& state)
                             wire::control_type::backpressure, w.take()),
         src});
     state.bump("backpressure_signals");
+    trace::emit(ctx.now, state.trace_site, trace::hop::sw_backpressure, ctx.pkt.id,
+                body.level);
 }
 
 // --------------------------------------------------------------------------

@@ -36,17 +36,34 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     wan.propagation = cfg.wan_delay;
     wan.queue_capacity_bytes = cfg.wan_queue_bytes;
 
-    net.connect(*tb->src, *tb->tofino, clean);
+    const auto [src_uplink_port, _s] = net.connect(*tb->src, *tb->tofino, clean);
     tb->wan_primary_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
     tb->wan_backup_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
-    net.connect_simplex(*tb->rx_host, *tb->tofino, clean); // NAK return path
+    const unsigned nak_return_port =
+        net.connect_simplex(*tb->rx_host, *tb->tofino, clean); // NAK return path
     const auto [buf1_feed_port, _a] = net.connect(*tb->tofino, *tb->buf1, clean);
-    net.connect(*tb->tofino, *tb->buf2, clean);
+    const auto [buf2_feed_port, buf2_uplink_port] = net.connect(*tb->tofino, *tb->buf2, clean);
+    (void)_s;
     (void)_a;
 
     tb->wan_primary = &tb->tofino->egress(tb->wan_primary_port);
     tb->wan_backup = &tb->tofino->egress(tb->wan_backup_port);
     tb->buf1_feed = &tb->tofino->egress(buf1_feed_port);
+
+    // --- observability: flight recorder sites + metrics registry ---
+    if (cfg.trace) {
+        tb->tracer = std::make_unique<trace::flight_recorder>(cfg.trace_capacity);
+        tb->tracer_install = std::make_unique<trace::scoped_recorder>(*tb->tracer);
+        auto& tr = *tb->tracer;
+        tb->src->egress(src_uplink_port).set_trace_site(tr.site("src-daq"));
+        tb->wan_primary->set_trace_site(tr.site("wan-primary"));
+        tb->wan_backup->set_trace_site(tr.site("wan-backup"));
+        tb->rx_host->egress(nak_return_port).set_trace_site(tr.site("nak-return"));
+        tb->buf1_feed->set_trace_site(tr.site("buf1-feed"));
+        tb->tofino->egress(buf2_feed_port).set_trace_site(tr.site("buf2-feed"));
+        tb->buf2->egress(buf2_uplink_port).set_trace_site(tr.site("buf2-uplink"));
+        tb->tofino->state().trace_site = tr.site("tofino");
+    }
 
     net.compute_routes();
     // Pin the admitted path: data leaves the Tofino on the primary span
@@ -102,6 +119,13 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
         if (a.secondary_addr != 0) tbp->rx->set_fallback_buffer(a.secondary_addr);
     });
 
+    if (tb->tracer) {
+        tb->tx->set_trace_site(tb->tracer->site("src"));
+        tb->rx->set_trace_site(tb->tracer->site("rx"));
+        tb->buf1_svc->set_trace_site(tb->tracer->site("buf1"));
+        tb->buf2_svc->set_trace_site(tb->tracer->site("buf2"));
+    }
+
     // --- failure-aware control plane ---
     auto& planner = tb->planner;
     planner.register_link("daq", data_rate::from_gbps(100));
@@ -129,6 +153,20 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
                 tbp->duplication->remove_subscriber(wire::experiments::iceberg,
                                                     tbp->buf1->address());
         });
+
+    // --- metrics registry: every layer reports into one place ---
+    telemetry::register_engine_metrics(tb->metrics, eng);
+    telemetry::register_link_metrics(tb->metrics, "wan-primary", *tb->wan_primary);
+    telemetry::register_link_metrics(tb->metrics, "wan-backup", *tb->wan_backup);
+    telemetry::register_link_metrics(tb->metrics, "buf1-feed", *tb->buf1_feed);
+    telemetry::register_planner_metrics(tb->metrics, planner,
+                                        {"daq", "wan-primary", "wan-backup"});
+    telemetry::register_health_metrics(tb->metrics, *tb->health);
+    telemetry::register_stack_metrics(tb->metrics, "rx", *tb->rx_stack);
+    telemetry::register_sender_metrics(tb->metrics, "src", *tb->tx);
+    telemetry::register_receiver_metrics(tb->metrics, "rx", *tb->rx);
+    telemetry::register_buffer_metrics(tb->metrics, "buf1", *tb->buf1_svc);
+    telemetry::register_buffer_metrics(tb->metrics, "buf2", *tb->buf2_svc);
 
     // --- traffic, advert, flush ---
     daq::steady_source source(drill_stream, cfg.message_bytes, cfg.message_interval,
@@ -243,6 +281,27 @@ chaos_result run_chaos_drill(const chaos_config& cfg)
         static_cast<std::uint64_t>(r.recovered ? r.time_to_recover.ns : 0));
     row("recovery_probes", r.probes);
     r.csv = t.csv();
+
+    r.metrics_csv = tb->metrics.to_csv();
+
+    // Pick the first sequence the fallback buffer re-sent and render its
+    // whole journey — the drill's proof that recovery crossed the backup
+    // plane ("this message traversed the backup span after the fault").
+    if (tb->tracer) {
+        auto& tr = *tb->tracer;
+        const auto buf2_site = tr.site("buf2");
+        for (const auto& ev : tr.events()) {
+            if (ev.kind == trace::hop::mmtp_retransmit && ev.site == buf2_site) {
+                r.traced_sequence = ev.arg;
+                break;
+            }
+        }
+        if (r.traced_sequence != std::uint64_t(-1)) {
+            r.hop_timeline = tr.format_timeline(tr.message_timeline(r.traced_sequence));
+            r.traversed_backup =
+                tr.traversed(r.traced_sequence, tr.site("wan-backup"), cfg.fault_at.ns);
+        }
+    }
     return r;
 }
 

@@ -27,6 +27,7 @@
 // (chaos_result::csv), which is what test_chaos asserts.
 #pragma once
 
+#include "common/trace.hpp"
 #include "control/health_monitor.hpp"
 #include "control/planner.hpp"
 #include "mmtp/buffer_service.hpp"
@@ -35,6 +36,7 @@
 #include "netsim/fault.hpp"
 #include "netsim/network.hpp"
 #include "pnet/stages.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/report.hpp"
 
@@ -77,6 +79,12 @@ struct chaos_config {
     std::uint32_t failover_attempts{2};
     /// Rate the flow is admitted at (must fit the WAN budgets).
     data_rate planned_rate{data_rate::from_gbps(8)};
+    /// Install a flight recorder and name every site, so the result can
+    /// show a failed-over message's hop-by-hop timeline.
+    bool trace{true};
+    /// Ring capacity in records (rounded up to a power of two). The
+    /// default holds the whole drill without overwrites.
+    std::size_t trace_capacity{1u << 17};
 };
 
 struct chaos_testbed {
@@ -113,6 +121,12 @@ struct chaos_testbed {
     std::unique_ptr<netsim::fault_scheduler> faults;
     std::unique_ptr<telemetry::recovery_tracker> recovery;
 
+    /// Flight recorder (installed for the testbed's lifetime when
+    /// cfg.trace) and the run's metrics registry.
+    std::unique_ptr<trace::flight_recorder> tracer;
+    std::unique_ptr<trace::scoped_recorder> tracer_install;
+    telemetry::metrics_registry metrics;
+
     std::uint64_t messages_scheduled{0};
     std::uint64_t datagrams_at_fault{0};
 };
@@ -147,6 +161,16 @@ struct chaos_result {
     /// is deterministic) and its CSV bytes for run-to-run comparison.
     telemetry::table report{"chaos drill"};
     std::string csv;
+
+    /// Hop-by-hop story of one failed-over message (the first sequence
+    /// buf2 retransmitted): rendered timeline, whether it crossed the
+    /// backup WAN span after the fault, and the sequence itself
+    /// (UINT64_MAX when tracing was off or nothing failed over).
+    std::uint64_t traced_sequence{std::uint64_t(-1)};
+    std::string hop_timeline;
+    bool traversed_backup{false};
+    /// Metrics registry snapshot (integer-only, deterministic bytes).
+    std::string metrics_csv;
 };
 
 /// Builds, runs to completion, and summarizes one chaos drill.

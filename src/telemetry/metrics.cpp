@@ -1,0 +1,217 @@
+#include "telemetry/metrics.hpp"
+
+#include "control/health_monitor.hpp"
+#include "control/planner.hpp"
+#include "mmtp/buffer_service.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/sender.hpp"
+#include "mmtp/stack.hpp"
+#include "netsim/engine.hpp"
+#include "netsim/link.hpp"
+
+#include <algorithm>
+
+namespace mmtp::telemetry {
+
+std::string metrics_registry::key_of(const std::string& name, const metric_labels& labels)
+{
+    if (labels.empty()) return name;
+    std::string key = name + "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) key += ",";
+        first = false;
+        key += k + "=" + v;
+    }
+    key += "}";
+    return key;
+}
+
+counter& metrics_registry::get_counter(const std::string& name, const metric_labels& labels)
+{
+    return counters_[key_of(name, labels)];
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name, const metric_labels& labels)
+{
+    return gauges_[key_of(name, labels)];
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name,
+                                           const metric_labels& labels)
+{
+    return histograms_[key_of(name, labels)];
+}
+
+void metrics_registry::add_probe(const std::string& name, const metric_labels& labels,
+                                 probe_fn fn)
+{
+    probes_[key_of(name, labels)] = std::move(fn);
+}
+
+std::vector<metrics_registry::row> metrics_registry::snapshot() const
+{
+    std::vector<row> rows;
+    for (const auto& [key, c] : counters_)
+        rows.push_back({key, "value", static_cast<std::int64_t>(c.value())});
+    for (const auto& [key, g] : gauges_)
+        rows.push_back({key, "value", g.value()});
+    for (const auto& [key, fn] : probes_)
+        rows.push_back({key, "value", static_cast<std::int64_t>(fn())});
+    for (const auto& [key, h] : histograms_) {
+        rows.push_back({key, "count", static_cast<std::int64_t>(h.count())});
+        rows.push_back({key, "min", static_cast<std::int64_t>(h.min())});
+        rows.push_back({key, "max", static_cast<std::int64_t>(h.max())});
+        rows.push_back({key, "p50", static_cast<std::int64_t>(h.percentile(50))});
+        rows.push_back({key, "p90", static_cast<std::int64_t>(h.percentile(90))});
+        rows.push_back({key, "p99", static_cast<std::int64_t>(h.percentile(99))});
+    }
+    std::sort(rows.begin(), rows.end(), [](const row& a, const row& b) {
+        if (a.metric != b.metric) return a.metric < b.metric;
+        return a.field < b.field;
+    });
+    return rows;
+}
+
+std::string metrics_registry::to_csv() const
+{
+    std::string out = "metric,field,value\n";
+    for (const auto& r : snapshot())
+        out += r.metric + "," + r.field + "," + std::to_string(r.value) + "\n";
+    return out;
+}
+
+std::string metrics_registry::to_json() const
+{
+    const auto rows = snapshot();
+    std::string out = "{";
+    std::string open_metric;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        if (r.metric != open_metric) {
+            if (!open_metric.empty()) out += "},";
+            out += "\"" + r.metric + "\":{";
+            open_metric = r.metric;
+        } else {
+            out += ",";
+        }
+        out += "\"" + r.field + "\":" + std::to_string(r.value);
+    }
+    if (!open_metric.empty()) out += "}";
+    out += "}";
+    return out;
+}
+
+// --- standard probes -----------------------------------------------------
+
+void register_engine_metrics(metrics_registry& reg, const netsim::engine& eng)
+{
+    const netsim::engine* e = &eng;
+    for (std::size_t i = 0; i < netsim::task_class_count; ++i) {
+        const auto tc = static_cast<netsim::task_class>(i);
+        reg.add_probe("engine_events", {{"class", netsim::task_class_name(tc)}},
+                      [e, i] { return e->profile().executed_by_class[i]; });
+    }
+    reg.add_probe("engine_events_total", {}, [e] { return e->profile().executed; });
+}
+
+void register_link_metrics(metrics_registry& reg, const std::string& link_name,
+                           const netsim::link& l)
+{
+    const netsim::link* lk = &l;
+    const metric_labels base{{"link", link_name}};
+    reg.add_probe("link_tx_packets", base, [lk] { return lk->stats().tx_packets; });
+    reg.add_probe("link_tx_bytes", base, [lk] { return lk->stats().tx_bytes; });
+    reg.add_probe("link_corrupted", base, [lk] { return lk->stats().corrupted; });
+    reg.add_probe("link_queue_depth_bytes", base, [lk] { return lk->queue_depth_bytes(); });
+    reg.add_probe("link_drops", {{"link", link_name}, {"reason", "random_loss"}},
+                  [lk] { return lk->stats().dropped_random; });
+    reg.add_probe("link_drops", {{"link", link_name}, {"reason", "oversize"}},
+                  [lk] { return lk->stats().dropped_oversize; });
+    reg.add_probe("link_drops", {{"link", link_name}, {"reason", "link_down"}},
+                  [lk] { return lk->stats().dropped_down; });
+    reg.add_probe("link_drops", {{"link", link_name}, {"reason", "queue_full"}},
+                  [lk] { return lk->queue_statistics().dropped; });
+}
+
+void register_planner_metrics(metrics_registry& reg, const control::capacity_planner& p,
+                              const std::vector<std::string>& links)
+{
+    const control::capacity_planner* pl = &p;
+    reg.add_probe("planner_flows", {}, [pl] { return pl->flow_count(); });
+    reg.add_probe("planner_link_failures", {}, [pl] { return pl->stats().link_failures; });
+    reg.add_probe("planner_link_repairs", {}, [pl] { return pl->stats().link_repairs; });
+    reg.add_probe("planner_flows_rerouted", {},
+                  [pl] { return pl->stats().flows_rerouted; });
+    reg.add_probe("planner_flows_stranded", {},
+                  [pl] { return pl->stats().flows_stranded; });
+    for (const auto& id : links) {
+        reg.add_probe("planner_committed_bps", {{"link", id}},
+                      [pl, id] { return pl->committed(id).bits_per_sec; });
+        reg.add_probe("planner_available_bps", {{"link", id}},
+                      [pl, id] { return pl->available(id).bits_per_sec; });
+    }
+}
+
+void register_health_metrics(metrics_registry& reg, const control::health_monitor& hm)
+{
+    const control::health_monitor* h = &hm;
+    reg.add_probe("health_links_watched", {}, [h] { return h->stats().links_watched; });
+    reg.add_probe("health_downs_observed", {}, [h] { return h->stats().downs_observed; });
+    reg.add_probe("health_ups_observed", {}, [h] { return h->stats().ups_observed; });
+}
+
+void register_stack_metrics(metrics_registry& reg, const std::string& host,
+                            const core::stack& st)
+{
+    const core::stack* s = &st;
+    const metric_labels base{{"host", host}};
+    reg.add_probe("stack_data_in", base, [s] { return s->stats().data_in; });
+    reg.add_probe("stack_control_in", base, [s] { return s->stats().control_in; });
+    reg.add_probe("stack_malformed", base, [s] { return s->stats().malformed; });
+    reg.add_probe("stack_sent", base, [s] { return s->stats().sent; });
+}
+
+void register_sender_metrics(metrics_registry& reg, const std::string& host,
+                             const core::sender& s)
+{
+    const core::sender* sp = &s;
+    const metric_labels base{{"host", host}};
+    reg.add_probe("sender_messages", base, [sp] { return sp->stats().messages; });
+    reg.add_probe("sender_datagrams", base, [sp] { return sp->stats().datagrams; });
+    reg.add_probe("sender_bytes", base, [sp] { return sp->stats().bytes; });
+    reg.add_probe("sender_backpressure_signals", base,
+                  [sp] { return sp->stats().backpressure_signals; });
+    reg.add_probe("sender_reroutes", base, [sp] { return sp->stats().reroutes; });
+}
+
+void register_receiver_metrics(metrics_registry& reg, const std::string& host,
+                               const core::receiver& r)
+{
+    const core::receiver* rp = &r;
+    const metric_labels base{{"host", host}};
+    reg.add_probe("receiver_datagrams", base, [rp] { return rp->stats().datagrams; });
+    reg.add_probe("receiver_bytes", base, [rp] { return rp->stats().bytes; });
+    reg.add_probe("receiver_duplicates", base, [rp] { return rp->stats().duplicates; });
+    reg.add_probe("receiver_recovered", base, [rp] { return rp->stats().recovered; });
+    reg.add_probe("receiver_naks_sent", base, [rp] { return rp->stats().naks_sent; });
+    reg.add_probe("receiver_nak_retries", base, [rp] { return rp->stats().nak_retries; });
+    reg.add_probe("receiver_buffer_failovers", base,
+                  [rp] { return rp->stats().buffer_failovers; });
+    reg.add_probe("receiver_given_up", base, [rp] { return rp->stats().given_up; });
+}
+
+void register_buffer_metrics(metrics_registry& reg, const std::string& host,
+                             const core::buffer_service& b)
+{
+    const core::buffer_service* bp = &b;
+    const metric_labels base{{"host", host}};
+    reg.add_probe("buffer_relayed", base, [bp] { return bp->stats().relayed; });
+    reg.add_probe("buffer_relayed_bytes", base, [bp] { return bp->stats().relayed_bytes; });
+    reg.add_probe("buffer_nak_requests", base, [bp] { return bp->stats().nak_requests; });
+    reg.add_probe("buffer_retransmitted", base,
+                  [bp] { return bp->stats().retransmitted; });
+    reg.add_probe("buffer_unavailable", base, [bp] { return bp->stats().unavailable; });
+}
+
+} // namespace mmtp::telemetry

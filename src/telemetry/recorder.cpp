@@ -9,9 +9,10 @@ void recovery_tracker::arm(sim_time fault_at, health_fn healthy, sim_time deadli
     healthy_ = std::move(healthy);
     recovered_at_.reset();
     probes_ = 0;
+    gave_up_ = false;
     // First probe one interval after the fault: the fault instant itself
     // is unhealthy by definition.
-    eng_.schedule_at(fault_at + interval_, [this] { probe(); });
+    eng_.schedule_at(fault_at + interval_, netsim::task_class::timer, [this] { probe(); });
 }
 
 void recovery_tracker::probe()
@@ -21,8 +22,11 @@ void recovery_tracker::probe()
         recovered_at_ = eng_.now();
         return;
     }
-    if (eng_.now() + interval_ > deadline_) return; // give up
-    eng_.schedule_in(interval_, [this] { probe(); });
+    if (eng_.now() + interval_ > deadline_) {
+        gave_up_ = true;
+        return;
+    }
+    eng_.schedule_in(interval_, netsim::task_class::timer, [this] { probe(); });
 }
 
 void rate_sampler::start(sim_time until)
@@ -33,7 +37,7 @@ void rate_sampler::start(sim_time until)
 
 void rate_sampler::tick(sim_time until)
 {
-    eng_.schedule_in(interval_, [this, until] {
+    eng_.schedule_in(interval_, netsim::task_class::timer, [this, until] {
         const auto now = eng_.now();
         const auto value = counter_();
         const double bits = static_cast<double>(value - last_value_) * 8.0;

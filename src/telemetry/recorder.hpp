@@ -10,6 +10,7 @@
 #include "common/units.hpp"
 #include "netsim/engine.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -28,13 +29,19 @@ public:
 
     void on_delivered(std::uint64_t cumulative_bytes)
     {
-        delivered_ = cumulative_bytes;
+        // The counter is cumulative: a reporter that resets (component
+        // restart) or reports out of order must never move delivery
+        // accounting backwards — or un-complete a finished transfer.
+        if (cumulative_bytes < delivered_) regressions_++;
+        delivered_ = std::max(delivered_, cumulative_bytes);
         if (!completed_ && delivered_ >= expected_) completed_ = eng_.now();
     }
 
     bool complete() const { return completed_.has_value(); }
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t expected() const { return expected_; }
+    /// Times on_delivered() saw the cumulative counter go backwards.
+    std::uint64_t regressions() const { return regressions_; }
 
     /// Flow completion time (start of tracking -> last byte).
     std::optional<sim_duration> fct() const
@@ -57,6 +64,7 @@ private:
     std::uint64_t expected_;
     sim_time started_;
     std::uint64_t delivered_{0};
+    std::uint64_t regressions_{0};
     std::optional<sim_time> completed_;
 };
 
@@ -68,14 +76,25 @@ public:
     void on_arrival(std::uint64_t source_timestamp_ns)
     {
         const auto lat_ns = eng_.now().ns - static_cast<std::int64_t>(source_timestamp_ns);
-        latency_us_.record(lat_ns > 0 ? static_cast<std::uint64_t>(lat_ns / 1000) : 0);
+        // A timestamp from the future (clock skew, corrupted header)
+        // must not enter the distribution as a fake 0 µs sample — that
+        // silently drags every percentile down. Count it instead.
+        if (lat_ns < 0) {
+            negative_latency_++;
+            return;
+        }
+        latency_us_.record(static_cast<std::uint64_t>(lat_ns / 1000));
     }
 
     const histogram& latency_us() const { return latency_us_; }
+    /// Arrivals whose source timestamp was in the future (excluded from
+    /// the distribution).
+    std::uint64_t negative_latency() const { return negative_latency_; }
 
 private:
     netsim::engine& eng_;
     histogram latency_us_;
+    std::uint64_t negative_latency_{0};
 };
 
 /// Measures time-to-recover after an injected fault: from the instant
@@ -103,6 +122,8 @@ public:
         return *recovered_at_ - fault_at_;
     }
     std::uint64_t probes() const { return probes_; }
+    /// True once probing stopped at the deadline without health returning.
+    bool gave_up() const { return gave_up_; }
 
 private:
     void probe();
@@ -114,6 +135,7 @@ private:
     sim_time deadline_{sim_time::zero()};
     std::optional<sim_time> recovered_at_;
     std::uint64_t probes_{0};
+    bool gave_up_{false};
 };
 
 /// Periodically samples a cumulative byte counter into Mbps readings.

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 using namespace mmtp;
 using namespace mmtp::literals;
 
@@ -270,6 +272,38 @@ TEST(histogram, reset)
     h.reset();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.max(), 0u);
+}
+
+// Regression: percentile() must clamp estimates into [min, max] — the
+// bucket midpoint of a lone large sample can otherwise exceed the
+// largest value ever recorded (log buckets are wide at the top).
+TEST(histogram, percentile_clamped_to_observed_range)
+{
+    histogram h;
+    h.record(1000000); // one sample, bucket midpoint != value
+    for (double p : {0.0, 50.0, 99.9, 100.0}) {
+        EXPECT_EQ(h.percentile(p), 1000000u) << "p=" << p;
+    }
+
+    histogram pair;
+    pair.record(100);
+    pair.record(1048575); // top of a wide bucket
+    EXPECT_GE(pair.percentile(99), 100u);
+    EXPECT_LE(pair.percentile(99), 1048575u);
+    EXPECT_GE(pair.percentile(1), 100u);
+}
+
+// Regression: p outside [0, 100] — including NaN, which fails every
+// comparison — must behave like the nearest valid percentile instead of
+// indexing out of range or invoking UB in the float → int cast.
+TEST(histogram, percentile_out_of_range_p)
+{
+    histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+    EXPECT_EQ(h.percentile(-5.0), h.percentile(0.0));
+    EXPECT_EQ(h.percentile(250.0), h.percentile(100.0));
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(h.percentile(nan), h.percentile(0.0));
 }
 
 // --------------------------------------------------------- interval_set
