@@ -61,7 +61,8 @@ result run(bool priority, bool backpressure)
 
     if (backpressure) {
         pnet::backpressure_config bcfg;
-        bcfg.threshold_bytes = 2ull * 1024 * 1024;
+        bcfg.low_watermark_bytes = 1ull * 1024 * 1024;
+        bcfg.high_watermark_bytes = 2ull * 1024 * 1024;
         sw.add_stage(std::make_shared<pnet::backpressure_stage>(sw, bcfg));
     }
     sw.add_stage(std::make_shared<pnet::age_update_stage>());

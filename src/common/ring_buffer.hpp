@@ -53,6 +53,12 @@ public:
     T& front() noexcept { return *slot(head_); }
     const T& front() const noexcept { return *slot(head_); }
 
+    /// Element `i` positions behind the front (0 == front). Undefined
+    /// when i >= size(). Lets queue disciplines scan for an eviction
+    /// victim without draining the ring.
+    T& at(std::size_t i) noexcept { return *slot((head_ + i) & (cap_ - 1)); }
+    const T& at(std::size_t i) const noexcept { return *slot((head_ + i) & (cap_ - 1)); }
+
     void push_back(T&& v)
     {
         if (size_ == cap_) grow();

@@ -27,6 +27,7 @@ const char* hop_name(hop k)
     case hop::mmtp_retransmit: return "retransmit";
     case hop::mmtp_failover: return "failover";
     case hop::mmtp_giveup: return "give_up";
+    case hop::mmtp_drop: return "endpoint_drop";
     }
     return "?";
 }
@@ -43,6 +44,7 @@ const char* reason_name(reason r)
     case reason::malformed: return "malformed";
     case reason::pipeline: return "pipeline";
     case reason::unroutable: return "unroutable";
+    case reason::deadline_shed: return "deadline_shed";
     }
     return "?";
 }

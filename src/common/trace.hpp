@@ -56,6 +56,7 @@ enum class hop : std::uint8_t {
     mmtp_retransmit, // buffer re-sent a sequence (arg = sequence) [binding]
     mmtp_failover,   // stream retargeted at fallback buffer (arg = its addr)
     mmtp_giveup,     // range abandoned as unrecoverable (arg = packed range)
+    mmtp_drop,       // endpoint discarded a payload (reason says why)
 };
 
 /// Why a *_drop record was emitted.
@@ -69,6 +70,7 @@ enum class reason : std::uint8_t {
     malformed,
     pipeline,
     unroutable,
+    deadline_shed,
 };
 
 const char* hop_name(hop k);

@@ -18,10 +18,64 @@ std::optional<flow_id> capacity_planner::admit(const std::vector<link_id>& path,
         auto it = links_.find(id);
         if (it == links_.end()) return std::nullopt; // unknown link
         if (!it->second.up) return std::nullopt;     // failed link
+        if (!it->second.admissible) {                // pressure-gated link
+            stats_.admissions_denied_pressure++;
+            return std::nullopt;
+        }
         if (it->second.committed_bits + rate.bits_per_sec > it->second.usable_bits)
             return std::nullopt;
     }
     return record(path, rate);
+}
+
+bool capacity_planner::path_gated(const std::vector<link_id>& path) const
+{
+    for (const auto& id : path) {
+        auto it = links_.find(id);
+        if (it != links_.end() && it->second.up && !it->second.admissible) return true;
+    }
+    return false;
+}
+
+std::optional<flow_id> capacity_planner::admit_or_defer(const std::vector<link_id>& path,
+                                                        data_rate rate, admit_cb on_admitted)
+{
+    if (const auto id = admit(path, rate)) return id;
+    if (!path_gated(path)) return std::nullopt; // refused for capacity, not pressure
+    stats_.admissions_deferred++;
+    deferred_.push_back(deferred_admission{path, rate, std::move(on_admitted)});
+    return std::nullopt;
+}
+
+void capacity_planner::set_admissible(const link_id& id, bool admissible)
+{
+    auto it = links_.find(id);
+    if (it == links_.end() || it->second.admissible == admissible) return;
+    it->second.admissible = admissible;
+    if (admissible) retry_deferred();
+}
+
+bool capacity_planner::admissible(const link_id& id) const
+{
+    auto it = links_.find(id);
+    return it != links_.end() && it->second.admissible;
+}
+
+void capacity_planner::retry_deferred()
+{
+    // FIFO with head-of-line blocking: requests behind one that still
+    // cannot be admitted keep their place (admission order is part of
+    // the capacity plan).
+    while (!deferred_.empty()) {
+        auto& head = deferred_.front();
+        if (path_gated(head.path)) return;
+        const auto id = admit(head.path, head.rate);
+        if (!id) return;
+        stats_.deferred_admitted++;
+        auto cb = std::move(head.on_admitted);
+        deferred_.erase(deferred_.begin());
+        if (cb) cb(*id);
+    }
 }
 
 flow_id capacity_planner::admit_unchecked(const std::vector<link_id>& path, data_rate rate)
@@ -147,6 +201,7 @@ void capacity_planner::handle_link_up(const link_id& id)
     if (lit == links_.end() || lit->second.up) return;
     lit->second.up = true;
     stats_.link_repairs++;
+    retry_deferred(); // a parked request may have been waiting on this link
 }
 
 data_rate capacity_planner::committed(const link_id& id) const

@@ -37,6 +37,12 @@ struct planner_stats {
     std::uint64_t flows_rerouted{0};
     /// Flows evicted because no backup existed or it had no room.
     std::uint64_t flows_stranded{0};
+    /// Admissions refused because a path link was pressure-gated.
+    std::uint64_t admissions_denied_pressure{0};
+    /// Admission requests parked until a pressure gate reopened.
+    std::uint64_t admissions_deferred{0};
+    /// Parked requests admitted after the gate reopened.
+    std::uint64_t deferred_admitted{0};
 };
 
 class capacity_planner {
@@ -85,6 +91,26 @@ public:
     void handle_link_up(const link_id& id);
 
     bool link_up(const link_id& id) const;
+
+    // --- overload awareness (driven by DTN storage watermarks) ---
+
+    /// Gates (admissible=false) or reopens (true) a link for *new*
+    /// admissions. Unlike handle_link_down, existing flows keep their
+    /// budgets — the resource still carries traffic, it just must not
+    /// take on more until occupancy drains. Reopening retries deferred
+    /// admissions in FIFO order.
+    void set_admissible(const link_id& id, bool admissible);
+    bool admissible(const link_id& id) const;
+
+    /// Like admit(), but a request refused *only* because of pressure
+    /// gating is parked and admitted automatically (FIFO, budgets
+    /// permitting) once every gated link on its path reopens; `on_admitted`
+    /// then receives the flow id. Returns the flow id when admitted
+    /// immediately, std::nullopt when parked or refused outright.
+    using admit_cb = std::function<void(flow_id)>;
+    std::optional<flow_id> admit_or_defer(const std::vector<link_id>& path, data_rate rate,
+                                          admit_cb on_admitted);
+
     const planner_stats& stats() const { return stats_; }
 
 private:
@@ -93,14 +119,24 @@ private:
         std::uint64_t usable_bits{0};
         std::uint64_t committed_bits{0};
         bool up{true};
+        bool admissible{true};
+    };
+
+    struct deferred_admission {
+        std::vector<link_id> path;
+        data_rate rate{0};
+        admit_cb on_admitted;
     };
 
     flow_id record(const std::vector<link_id>& path, data_rate rate);
     void uncommit(const admission& flow);
+    bool path_gated(const std::vector<link_id>& path) const;
+    void retry_deferred();
 
     std::map<link_id, link_budget> links_;
     std::map<flow_id, admission> flows_;
     std::map<flow_id, std::vector<link_id>> backups_;
+    std::vector<deferred_admission> deferred_;
     flow_id next_flow_{1};
     planner_stats stats_;
     reroute_cb on_reroute_;

@@ -62,6 +62,10 @@ public:
                                                std::uint16_t epoch, std::uint64_t first,
                                                std::uint64_t last, sim_time now);
 
+    /// Applies retention/capacity eviction now — lets occupancy-watermark
+    /// pollers observe decay between stores.
+    void sweep(sim_time now) { evict(now); }
+
     std::uint64_t bytes_used() const { return bytes_; }
     std::size_t entries() const { return by_key_.size(); }
     const buffer_stats& stats() const { return stats_; }

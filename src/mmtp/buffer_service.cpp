@@ -41,6 +41,7 @@ void buffer_service::relay(const delivered_datagram& d)
     entry.size_bytes = static_cast<std::uint32_t>(d.total_payload_bytes);
     entry.inline_payload = d.payload;
     buffer_.store(std::move(entry), now);
+    check_pressure(d.src, d.hdr.experiment);
 
     if (cfg_.tap_only) {
         stats_.relayed++;
@@ -80,6 +81,51 @@ void buffer_service::relay(const delivered_datagram& d)
     stack_.send_datagram(cfg_.next_hop, h, d.payload, extra_virtual);
 }
 
+void buffer_service::check_pressure(wire::ipv4_addr src, wire::experiment_id experiment)
+{
+    if (cfg_.occupancy_high_bytes == 0) return;
+    const auto used = buffer_.bytes_used();
+    const auto now = stack_.sim().now();
+
+    if (!pressure_engaged_) {
+        if (used < cfg_.occupancy_high_bytes) return;
+        pressure_engaged_ = true;
+        pressure_epoch_++;
+        stats_.pressure_engagements++;
+        if (pressure_handler_) pressure_handler_(true, used);
+    } else if (used < cfg_.occupancy_low_bytes) {
+        pressure_engaged_ = false;
+        stats_.pressure_releases++;
+        if (pressure_handler_) pressure_handler_(false, used);
+        return;
+    }
+
+    // Tell the upstream sender to slow down — once per source per
+    // engagement (the sender's own hold/recovery schedule takes it from
+    // there). L2-fed taps have no routable source to signal.
+    if (src == 0) return;
+    auto& epoch = signalled_epoch_[src];
+    if (epoch == pressure_epoch_) return;
+    epoch = pressure_epoch_;
+
+    wire::backpressure_body body;
+    body.level = cfg_.pressure_level;
+    body.origin = stack_.host().address();
+    body.queue_depth_pkts = static_cast<std::uint32_t>(buffer_.entries());
+    byte_writer w;
+    serialize(body, w);
+    stack_.send_control(src, experiment, wire::control_type::backpressure, w.take());
+    stats_.pressure_signals++;
+    trace::emit(now, trace_site_, trace::hop::sw_backpressure, 0, body.level);
+}
+
+void buffer_service::poll_pressure()
+{
+    if (cfg_.occupancy_high_bytes == 0) return;
+    buffer_.sweep(stack_.sim().now());
+    check_pressure(0, 0);
+}
+
 void buffer_service::handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,
                                 wire::ipv4_addr /*src*/)
 {
@@ -92,31 +138,78 @@ void buffer_service::handle_nak(const wire::nak_body& nak, wire::experiment_id e
         stats_.unavailable += (range.last - range.first + 1) - entries.size();
 
         for (auto& entry : entries) {
-            wire::header h;
-            h.experiment = entry.experiment;
-            h.m.set(wire::feature::sequencing);
-            h.sequencing = wire::sequencing_field{entry.sequence, entry.epoch};
-            h.m.set(wire::feature::retransmission);
-            h.retransmission = wire::retransmission_field{stack_.host().address()};
-            h.m.set(wire::feature::timestamped);
-            h.timestamp_ns = entry.timestamp_ns;
-            if (cfg_.deadline_us > 0) {
-                h.m.set(wire::feature::timeliness);
-                wire::timeliness_field t;
-                t.deadline_us = cfg_.deadline_us;
-                t.notify_addr = cfg_.notify_addr;
-                h.timeliness = t;
+            if (cfg_.retransmit_pace.bits_per_sec == 0) {
+                send_retransmit(nak.requester, entry);
+                continue;
             }
-            const std::uint64_t extra_virtual =
-                entry.size_bytes > entry.inline_payload.size()
-                    ? entry.size_bytes - entry.inline_payload.size()
-                    : 0;
-            const std::uint64_t pid =
-                stack_.send_datagram(nak.requester, h, entry.inline_payload, extra_virtual);
-            stats_.retransmitted++;
-            // Binding record: ties the fresh packet id to the sequence.
-            trace::emit(now, trace_site_, trace::hop::mmtp_retransmit, pid, entry.sequence);
+            // Paced repair: a re-NAK of a sequence still waiting in the
+            // queue is absorbed — re-sending it would only lengthen the
+            // very backlog that delayed the first copy.
+            const auto key = std::make_tuple(nak.requester, entry.experiment, entry.epoch,
+                                             entry.sequence);
+            if (!queued_.insert(key).second) {
+                stats_.retransmit_dedup++;
+                continue;
+            }
+            rtx_queue_.push_back(pending_retransmit{nak.requester, std::move(entry)});
+            if (rtx_queue_.size() > stats_.retransmit_queue_peak)
+                stats_.retransmit_queue_peak = rtx_queue_.size();
         }
+    }
+    if (!rtx_queue_.empty()) pump_retransmits();
+}
+
+void buffer_service::send_retransmit(wire::ipv4_addr to, const dtn::buffered_datagram& entry)
+{
+    wire::header h;
+    h.experiment = entry.experiment;
+    h.m.set(wire::feature::sequencing);
+    h.sequencing = wire::sequencing_field{entry.sequence, entry.epoch};
+    h.m.set(wire::feature::retransmission);
+    h.retransmission = wire::retransmission_field{stack_.host().address()};
+    h.m.set(wire::feature::timestamped);
+    h.timestamp_ns = entry.timestamp_ns;
+    if (cfg_.deadline_us > 0) {
+        h.m.set(wire::feature::timeliness);
+        wire::timeliness_field t;
+        t.deadline_us = cfg_.deadline_us;
+        t.notify_addr = cfg_.notify_addr;
+        h.timeliness = t;
+    }
+    const std::uint64_t extra_virtual = entry.size_bytes > entry.inline_payload.size()
+        ? entry.size_bytes - entry.inline_payload.size()
+        : 0;
+    const std::uint64_t pid =
+        stack_.send_datagram(to, h, entry.inline_payload, extra_virtual);
+    stats_.retransmitted++;
+    // Binding record: ties the fresh packet id to the sequence.
+    trace::emit(stack_.sim().now(), trace_site_, trace::hop::mmtp_retransmit, pid,
+                entry.sequence);
+}
+
+void buffer_service::pump_retransmits()
+{
+    auto& eng = stack_.sim();
+    while (!rtx_queue_.empty()) {
+        const auto now = eng.now();
+        if (rtx_ready_.ns > now.ns) {
+            if (!rtx_pump_scheduled_) {
+                rtx_pump_scheduled_ = true;
+                eng.schedule_at(rtx_ready_, netsim::task_class::protocol, [this] {
+                    rtx_pump_scheduled_ = false;
+                    pump_retransmits();
+                });
+            }
+            return;
+        }
+        auto next = std::move(rtx_queue_.front());
+        rtx_queue_.pop_front();
+        queued_.erase(std::make_tuple(next.to, next.entry.experiment, next.entry.epoch,
+                                      next.entry.sequence));
+        send_retransmit(next.to, next.entry);
+        const auto start = rtx_ready_.ns > now.ns ? rtx_ready_ : now;
+        rtx_ready_ =
+            start + cfg_.retransmit_pace.transmission_time(next.entry.size_bytes);
     }
 }
 

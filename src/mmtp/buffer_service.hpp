@@ -18,6 +18,9 @@
 #include "dtn/buffer.hpp"
 #include "mmtp/stack.hpp"
 
+#include <deque>
+#include <set>
+#include <tuple>
 #include <unordered_map>
 
 namespace mmtp::core {
@@ -44,6 +47,23 @@ struct buffer_service_config {
     /// tap); carried in adverts so receivers know where to fail over
     /// when this service stops answering NAKs. 0 = none.
     wire::ipv4_addr secondary_buffer{0};
+    /// Storage occupancy watermarks (bytes; 0 disables). Crossing the
+    /// high watermark engages storage pressure: each distinct upstream
+    /// source gets one backpressure control message per engagement, and
+    /// the pressure handler fires so the control plane can stop admitting
+    /// new flows onto this DTN. Pressure releases (handler fires again)
+    /// once occupancy decays below the low watermark.
+    std::uint64_t occupancy_high_bytes{0};
+    std::uint64_t occupancy_low_bytes{0};
+    /// Severity advertised in storage-pressure backpressure signals.
+    std::uint8_t pressure_level{192};
+    /// Pace for NAK-triggered retransmissions (0 = unpaced). Repair
+    /// traffic answers bursts of loss, and un-paced it arrives as a
+    /// line-rate burst that re-overloads the very segment it is
+    /// repairing; a pace below the bottleneck rate lets repairs drain
+    /// through. While a sequence is still waiting in the paced queue,
+    /// repeated NAKs for it are absorbed instead of duplicating it.
+    data_rate retransmit_pace{0};
 };
 
 struct buffer_service_stats {
@@ -52,6 +72,13 @@ struct buffer_service_stats {
     std::uint64_t nak_requests{0};
     std::uint64_t retransmitted{0};
     std::uint64_t unavailable{0}; // NAKed sequences no longer buffered
+    std::uint64_t pressure_engagements{0};
+    std::uint64_t pressure_releases{0};
+    std::uint64_t pressure_signals{0};
+    /// NAKed sequences absorbed because an identical retransmission was
+    /// still waiting in the paced queue.
+    std::uint64_t retransmit_dedup{0};
+    std::uint64_t retransmit_queue_peak{0};
 };
 
 class buffer_service {
@@ -78,17 +105,47 @@ public:
     /// (sent `copies` times: the markers cross the same lossy segment).
     void flush(unsigned copies = 3);
 
+    /// Observer for storage-pressure transitions (engage/release).
+    using pressure_cb = std::function<void(bool engaged, std::uint64_t bytes_used)>;
+    void set_pressure_handler(pressure_cb cb) { pressure_handler_ = std::move(cb); }
+    bool pressure_engaged() const { return pressure_engaged_; }
+
+    /// Sweeps retention decay and re-evaluates the occupancy watermarks;
+    /// schedule this periodically so pressure releases between stores.
+    void poll_pressure();
+
 private:
     void handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,
                     wire::ipv4_addr src);
     std::uint64_t next_sequence(wire::experiment_id experiment);
+    void check_pressure(wire::ipv4_addr src, wire::experiment_id experiment);
+    void send_retransmit(wire::ipv4_addr to, const dtn::buffered_datagram& entry);
+    void pump_retransmits();
 
     stack& stack_;
     buffer_service_config cfg_;
     dtn::retransmission_buffer buffer_;
     buffer_service_stats stats_;
     std::unordered_map<std::uint32_t, std::uint64_t> seq_counters_;
+    // Paced-retransmission state (unused when retransmit_pace is 0):
+    // pending repairs drain through a leaky bucket at the configured
+    // rate; `queued_` keys (experiment, epoch, sequence, requester) so a
+    // re-NAK of a still-queued repair is absorbed, not duplicated.
+    struct pending_retransmit {
+        wire::ipv4_addr to{0};
+        dtn::buffered_datagram entry;
+    };
+    std::deque<pending_retransmit> rtx_queue_;
+    std::set<std::tuple<wire::ipv4_addr, wire::experiment_id, std::uint16_t, std::uint64_t>>
+        queued_;
+    sim_time rtx_ready_{sim_time::zero()};
+    bool rtx_pump_scheduled_{false};
     std::uint32_t trace_site_{0};
+    pressure_cb pressure_handler_;
+    bool pressure_engaged_{false};
+    std::uint64_t pressure_epoch_{0};
+    // one storage-pressure signal per source per engagement
+    std::unordered_map<wire::ipv4_addr, std::uint64_t> signalled_epoch_;
 };
 
 } // namespace mmtp::core

@@ -23,12 +23,9 @@ sender::sender(stack& st, l2_egress egress, sender_config cfg)
 
 data_rate sender::effective_pace() const
 {
-    if (cfg_.pace.bits_per_sec == 0) return cfg_.pace;
-    if (stack_.sim().now() >= bp_until_ || bp_level_ == 0) return cfg_.pace;
-    const double span = 1.0 - cfg_.min_pace_fraction;
-    const double factor = 1.0 - span * (static_cast<double>(bp_level_) / 255.0);
+    if (cfg_.pace.bits_per_sec == 0 || pace_scale_ >= 1.0) return cfg_.pace;
     return data_rate{static_cast<std::uint64_t>(
-        static_cast<double>(cfg_.pace.bits_per_sec) * factor)};
+        static_cast<double>(cfg_.pace.bits_per_sec) * pace_scale_)};
 }
 
 void sender::reroute(wire::ipv4_addr new_dst)
@@ -42,8 +39,64 @@ void sender::reroute(wire::ipv4_addr new_dst)
 void sender::on_backpressure(const wire::backpressure_body& b)
 {
     stats_.backpressure_signals++;
-    bp_level_ = b.level; // latest signal wins
-    bp_until_ = stack_.sim().now() + cfg_.backpressure_hold;
+    const auto now = stack_.sim().now();
+
+    // Multiplicative decrease, proportional to the signalled level. Only
+    // downward: a later, weaker signal must not relax a stronger
+    // suppression already in force.
+    const double span = 1.0 - cfg_.min_pace_fraction;
+    double target = 1.0 - span * (static_cast<double>(b.level) / 255.0);
+    if (target < cfg_.min_pace_fraction) target = cfg_.min_pace_fraction;
+    if (target < pace_scale_) {
+        if (pace_scale_ >= 1.0) suppressed_since_ = now;
+        pace_scale_ = target;
+        stats_.bp_decreases++;
+        if (pace_scale_ <= cfg_.min_pace_fraction) stats_.bp_floor_hits++;
+    }
+    if (b.level > bp_level_) bp_level_ = b.level;
+
+    // Every signal pushes the quiet-period horizon out; keep the max so
+    // overlapping signals extend, never shorten, the hold.
+    const auto until = now + cfg_.backpressure_hold;
+    if (until > bp_until_) bp_until_ = until;
+    schedule_recovery();
+}
+
+void sender::schedule_recovery()
+{
+    if (recovery_scheduled_ || pace_scale_ >= 1.0) return;
+    recovery_scheduled_ = true;
+    stack_.sim().schedule_at(bp_until_, netsim::task_class::protocol, [this] {
+        recovery_scheduled_ = false;
+        recovery_step();
+    });
+}
+
+void sender::recovery_step()
+{
+    if (pace_scale_ >= 1.0) return;
+    const auto now = stack_.sim().now();
+    if (now < bp_until_) { // a fresher signal extended the quiet period
+        schedule_recovery();
+        return;
+    }
+
+    // Additive increase toward the configured pace.
+    pace_scale_ += cfg_.recovery_step_fraction;
+    stats_.bp_recovery_steps++;
+    if (pace_scale_ >= 1.0) {
+        pace_scale_ = 1.0;
+        bp_level_ = 0;
+        stats_.bp_recoveries++;
+        stats_.suppressed_ns += static_cast<std::uint64_t>((now - suppressed_since_).ns);
+    } else {
+        recovery_scheduled_ = true;
+        stack_.sim().schedule_in(cfg_.recovery_interval, netsim::task_class::protocol,
+                                 [this] {
+                                     recovery_scheduled_ = false;
+                                     recovery_step();
+                                 });
+    }
 }
 
 void sender::send_message(const daq::daq_message& msg)

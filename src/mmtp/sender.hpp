@@ -27,12 +27,21 @@ struct sender_config {
     std::uint32_t max_datagram_payload{8192};
     /// Pacing rate; 0 = unpaced (sensor links are dedicated).
     data_rate pace{0};
-    /// React to backpressure control messages by scaling pace.
+    /// React to backpressure control messages by scaling pace (AIMD:
+    /// multiplicative decrease on signal, additive recovery after a
+    /// quiet period).
     bool honor_backpressure{true};
-    /// Fraction of pace retained at maximum backpressure (level 255).
+    /// Fraction of pace retained at maximum backpressure (level 255) —
+    /// the multiplicative-decrease floor.
     double min_pace_fraction{0.1};
-    /// How long a backpressure signal keeps suppressing the pace.
+    /// Quiet period: recovery begins this long after the last signal
+    /// (each new signal pushes it out again).
     sim_duration backpressure_hold{sim_duration{10000000}}; // 10 ms
+    /// Additive increase: fraction of the configured pace restored per
+    /// recovery interval once the quiet period has lapsed.
+    double recovery_step_fraction{0.15};
+    /// Spacing between additive recovery steps.
+    sim_duration recovery_interval{sim_duration{1000000}}; // 1 ms
 };
 
 struct sender_stats {
@@ -40,6 +49,18 @@ struct sender_stats {
     std::uint64_t datagrams{0};
     std::uint64_t bytes{0};
     std::uint64_t backpressure_signals{0};
+    /// Signals that actually cut the pace scale (a weaker signal during
+    /// a stronger in-force suppression does not).
+    std::uint64_t bp_decreases{0};
+    /// Decreases clamped at the min_pace_fraction floor.
+    std::uint64_t bp_floor_hits{0};
+    /// Additive recovery steps taken.
+    std::uint64_t bp_recovery_steps{0};
+    /// Completed recoveries (pace back at the configured rate).
+    std::uint64_t bp_recoveries{0};
+    /// Total simulated time spent below the configured pace, accumulated
+    /// when a recovery completes.
+    std::uint64_t suppressed_ns{0};
     std::uint64_t queued_peak{0};
     std::uint64_t reroutes{0};
 };
@@ -67,6 +88,8 @@ public:
     const sender_stats& stats() const { return stats_; }
     /// Current effective pace after backpressure scaling.
     data_rate effective_pace() const;
+    /// True while the pace is below the configured rate.
+    bool suppressed() const { return pace_scale_ < 1.0; }
 
     /// Control-plane reroute (failure-aware planner callback): future
     /// datagrams go to `new_dst`, and the stream epoch is bumped so
@@ -81,6 +104,8 @@ public:
 
 private:
     void on_backpressure(const wire::backpressure_body& b);
+    void schedule_recovery();
+    void recovery_step();
     void enqueue_datagram(wire::header h, std::vector<std::uint8_t> payload,
                           std::uint64_t extra_virtual);
     void pump();
@@ -101,8 +126,15 @@ private:
     std::deque<pending> queue_;
     sim_time pace_ready_{sim_time::zero()};
     bool pump_scheduled_{false};
+    // AIMD state: pace_scale_ in [min_pace_fraction, 1.0] multiplies the
+    // configured pace. Signals only ever lower it (a later weaker signal
+    // must not relax a stronger in-force suppression); recovery raises it
+    // in steps once bp_until_ (the quiet-period horizon) has passed.
+    double pace_scale_{1.0};
     std::uint8_t bp_level_{0};
     sim_time bp_until_{sim_time::zero()};
+    sim_time suppressed_since_{sim_time::zero()};
+    bool recovery_scheduled_{false};
     std::uint16_t epoch_{0};
     std::uint32_t trace_site_{0};
 };

@@ -1,5 +1,6 @@
 #include "mmtp/stack.hpp"
 
+#include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
 namespace mmtp::core {
@@ -55,36 +56,51 @@ void stack::dispatch(netsim::packet&& p, std::size_t mmtp_offset, wire::ipv4_add
     if (data_sink_) data_sink_(std::move(d));
 }
 
+void stack::note_parse_error(const delivered_datagram& d)
+{
+    // A truncated or corrupted control body is a dropped message, not a
+    // silent no-op: count it and leave a trace record.
+    stats_.control_parse_errors++;
+    trace::emit(d.received, trace_site_, trace::hop::mmtp_drop, d.packet_id,
+                d.payload.size(), trace::reason::malformed);
+}
+
 void stack::dispatch_control(const wire::header& h, const delivered_datagram& d)
 {
     switch (h.control.value_or(static_cast<wire::control_type>(0))) {
     case wire::control_type::nak:
-        if (nak_handler_) {
-            if (const auto body = wire::parse_nak(d.payload))
-                nak_handler_(*body, h.experiment, d.src);
+        if (const auto body = wire::parse_nak(d.payload)) {
+            if (nak_handler_) nak_handler_(*body, h.experiment, d.src);
+        } else {
+            note_parse_error(d);
         }
         break;
     case wire::control_type::backpressure:
         if (const auto body = wire::parse_backpressure(d.payload)) {
             for (const auto& cb : backpressure_handlers_) cb(*body);
+        } else {
+            note_parse_error(d);
         }
         break;
     case wire::control_type::deadline_exceeded:
-        if (deadline_handler_) {
-            if (const auto body = wire::parse_deadline_exceeded(d.payload))
-                deadline_handler_(*body);
+        if (const auto body = wire::parse_deadline_exceeded(d.payload)) {
+            if (deadline_handler_) deadline_handler_(*body);
+        } else {
+            note_parse_error(d);
         }
         break;
     case wire::control_type::stream_flush:
-        if (flush_handler_) {
-            if (const auto body = wire::parse_stream_flush(d.payload))
-                flush_handler_(*body);
+        if (const auto body = wire::parse_stream_flush(d.payload)) {
+            if (flush_handler_) flush_handler_(*body);
+        } else {
+            note_parse_error(d);
         }
         break;
     case wire::control_type::buffer_advert:
-        if (advert_handler_) {
-            if (const auto body = wire::parse_buffer_advert(d.payload))
-                advert_handler_(*body);
+        if (const auto body = wire::parse_buffer_advert(d.payload)) {
+            if (advert_handler_) advert_handler_(*body);
+        } else {
+            note_parse_error(d);
         }
         break;
     default:

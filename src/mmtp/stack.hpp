@@ -72,9 +72,15 @@ public:
         std::uint64_t data_in{0};
         std::uint64_t control_in{0};
         std::uint64_t malformed{0};
+        /// Control messages whose type was known but whose body failed to
+        /// parse (truncated/corrupted) — dropped, not silently ignored.
+        std::uint64_t control_parse_errors{0};
         std::uint64_t sent{0};
     };
     const stack_stats& stats() const { return stats_; }
+
+    /// Interned flight-recorder site id for endpoint drop records.
+    void set_trace_site(std::uint32_t site) { trace_site_ = site; }
 
 private:
     void on_ipv4(netsim::packet&& p, const wire::ipv4_header& ip, std::size_t offset);
@@ -82,6 +88,7 @@ private:
     void dispatch(netsim::packet&& p, std::size_t mmtp_offset, wire::ipv4_addr src,
                   bool over_l2);
     void dispatch_control(const wire::header& h, const delivered_datagram& d);
+    void note_parse_error(const delivered_datagram& d);
 
     netsim::host& host_;
     netsim::packet_id_source& ids_;
@@ -92,6 +99,7 @@ private:
     advert_cb advert_handler_;
     flush_cb flush_handler_;
     stack_stats stats_;
+    std::uint32_t trace_site_{0};
 };
 
 } // namespace mmtp::core

@@ -27,9 +27,43 @@ bool drop_tail_queue::dequeue_into(packet& out)
 }
 
 priority_queue_disc::priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
-                                         classifier classify)
-    : bands_(bands), per_band_capacity_(per_band_capacity_bytes), classify_(classify)
+                                         classifier classify, slack_fn slack)
+    : bands_(bands), per_band_capacity_(per_band_capacity_bytes), classify_(classify),
+      slack_(slack)
 {
+}
+
+bool priority_queue_disc::shed_for(band& bd, unsigned b, std::uint64_t need,
+                                   std::int64_t newcomer_slack)
+{
+    // Evict the entry closest to (or past) its deadline, repeatedly,
+    // until the newcomer fits — but only entries strictly closer to their
+    // deadline than the newcomer may yield. Ties tail-drop the newcomer,
+    // keeping the policy deterministic and non-churning.
+    while (bd.bytes + need > per_band_capacity_) {
+        std::size_t victim = bd.q.size();
+        std::int64_t worst = newcomer_slack;
+        for (std::size_t i = 0; i < bd.q.size(); ++i) {
+            const entry& e = bd.q.at(i);
+            if (!e.dead && e.slack < worst) {
+                worst = e.slack;
+                victim = i;
+            }
+        }
+        if (victim == bd.q.size()) return false;
+        entry& e = bd.q.at(victim);
+        const auto vsz = e.p.wire_size();
+        if (shed_cb_) shed_cb_(e.p, b);
+        e.dead = true;
+        e.p = packet{}; // release payload storage now, not at dequeue
+        bd.live--;
+        bd.bytes -= vsz;
+        bd.shed++;
+        bd.shed_bytes += vsz;
+        stats_.shed++;
+        stats_.shed_bytes += vsz;
+    }
+    return true;
 }
 
 bool priority_queue_disc::enqueue(packet&& p)
@@ -38,29 +72,42 @@ bool priority_queue_disc::enqueue(packet&& p)
     if (b >= bands_.size()) b = static_cast<unsigned>(bands_.size()) - 1;
     auto& bd = bands_[b];
     const auto sz = p.wire_size();
+    const std::int64_t slack = slack_ ? slack_(p) : 0;
     if (bd.bytes + sz > per_band_capacity_) {
-        stats_.dropped++;
-        stats_.dropped_bytes += sz;
-        bd.dropped++;
-        bd.dropped_bytes += sz;
-        return false;
+        if (!slack_ || !shed_for(bd, b, sz, slack)) {
+            stats_.dropped++;
+            stats_.dropped_bytes += sz;
+            bd.dropped++;
+            bd.dropped_bytes += sz;
+            return false;
+        }
     }
     bd.bytes += sz;
+    bd.live++;
     stats_.enqueued++;
     const auto depth = byte_depth();
     if (depth > stats_.peak_bytes) stats_.peak_bytes = depth;
-    bd.q.push_back(std::move(p));
+    bd.q.push_back(entry{std::move(p), slack, false});
     return true;
 }
 
 bool priority_queue_disc::dequeue_into(packet& out)
 {
     for (auto& bd : bands_) {
-        if (bd.q.empty()) continue;
-        bd.q.pop_front_into(out);
-        bd.bytes -= out.wire_size();
-        stats_.dequeued++;
-        return true;
+        while (!bd.q.empty()) {
+            if (bd.q.front().dead) { // tombstone left by shedding
+                entry tomb;
+                bd.q.pop_front_into(tomb);
+                continue;
+            }
+            entry e;
+            bd.q.pop_front_into(e);
+            out = std::move(e.p);
+            bd.bytes -= out.wire_size();
+            bd.live--;
+            stats_.dequeued++;
+            return true;
+        }
     }
     return false;
 }
@@ -82,7 +129,7 @@ std::uint64_t priority_queue_disc::byte_depth() const
 std::size_t priority_queue_disc::packet_depth() const
 {
     std::size_t total = 0;
-    for (const auto& bd : bands_) total += bd.q.size();
+    for (const auto& bd : bands_) total += bd.live;
     return total;
 }
 

@@ -17,6 +17,7 @@
 #include "netsim/packet.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct queue_stats {
     std::uint64_t dequeued{0};
     std::uint64_t dropped{0};
     std::uint64_t dropped_bytes{0};
+    /// Queued packets evicted by deadline-aware shedding to make room for
+    /// a newcomer with more deadline slack (priority_queue_disc only).
+    std::uint64_t shed{0};
+    std::uint64_t shed_bytes{0};
     std::uint64_t peak_bytes{0};
 };
 
@@ -99,7 +104,18 @@ private:
 
 /// Strict-priority multi-band queue. The classifier maps a packet to a
 /// band in [0, bands); band 0 is served first. Each band has its own
-/// byte capacity; a packet that doesn't fit its band is dropped.
+/// byte capacity.
+///
+/// Band-full policy: with no slack function installed a packet that
+/// doesn't fit its band is tail-dropped. With a slack function the band
+/// sheds queued entries that are strictly *closer to their deadline* than
+/// the newcomer until it fits (deadline-aware shedding, §5.3): a packet
+/// already at or past its deadline is the least useful occupant of the
+/// egress buffer, so it yields to one that can still arrive in time. If
+/// no such victim exists the newcomer tail-drops as before. Shed entries
+/// become tombstones in the ring (marking is O(1) amortized against the
+/// later dequeue that skips them); their payload storage is released
+/// immediately.
 class priority_queue_disc final : public queue_disc {
 public:
     /// Stateless classifier: any capture-less lambda converts. State, if
@@ -107,8 +123,14 @@ public:
     /// restriction real switch pipelines live with.
     using classifier = unsigned (*)(const packet&);
 
+    /// Deadline slack of a packet in microseconds (deadline - age); lower
+    /// means closer to (negative: past) its deadline. Packets without a
+    /// deadline report INT64_MAX and are never shed. Evaluated once per
+    /// enqueue. Stateless, like the classifier.
+    using slack_fn = std::int64_t (*)(const packet&);
+
     priority_queue_disc(unsigned bands, std::uint64_t per_band_capacity_bytes,
-                        classifier classify);
+                        classifier classify, slack_fn slack = nullptr);
 
     bool enqueue(packet&& p) override;
     bool dequeue_into(packet& out) override;
@@ -116,21 +138,46 @@ public:
     std::uint64_t byte_depth() const override;
     std::size_t packet_depth() const override;
 
+    unsigned band_count() const { return static_cast<unsigned>(bands_.size()); }
     std::uint64_t band_depth_bytes(unsigned b) const { return bands_[b].bytes; }
     /// Packets dropped because band `b` was full.
     std::uint64_t band_dropped(unsigned b) const { return bands_[b].dropped; }
     std::uint64_t band_dropped_bytes(unsigned b) const { return bands_[b].dropped_bytes; }
+    /// Packets shed from band `b` to admit a newcomer with more slack.
+    std::uint64_t band_shed(unsigned b) const { return bands_[b].shed; }
+    std::uint64_t band_shed_bytes(unsigned b) const { return bands_[b].shed_bytes; }
+
+    /// Observes every shed packet (before its storage is released), e.g.
+    /// to emit a trace drop record. Cold path — sheds only happen on
+    /// band-full, so capture storage here is fine.
+    void set_shed_observer(std::function<void(const packet&, unsigned band)> cb)
+    {
+        shed_cb_ = std::move(cb);
+    }
 
 private:
+    struct entry {
+        packet p;
+        std::int64_t slack{0};
+        bool dead{false};
+    };
     struct band {
-        ring_buffer<packet> q;
+        ring_buffer<entry> q;
+        std::size_t live{0};
         std::uint64_t bytes{0};
         std::uint64_t dropped{0};
         std::uint64_t dropped_bytes{0};
+        std::uint64_t shed{0};
+        std::uint64_t shed_bytes{0};
     };
+
+    bool shed_for(band& bd, unsigned b, std::uint64_t need, std::int64_t newcomer_slack);
+
     std::vector<band> bands_;
     std::uint64_t per_band_capacity_;
     classifier classify_;
+    slack_fn slack_;
+    std::function<void(const packet&, unsigned)> shed_cb_;
 };
 
 } // namespace mmtp::netsim

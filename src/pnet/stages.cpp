@@ -4,6 +4,8 @@
 #include "common/trace.hpp"
 #include "netsim/link.hpp"
 
+#include <limits>
+
 namespace mmtp::pnet {
 
 netsim::packet make_control_packet(wire::ipv4_addr element_addr, wire::ipv4_addr dst,
@@ -180,20 +182,51 @@ void backpressure_stage::process(packet_context& ctx, element_state& state)
     if (port == netsim::no_port || port >= sw_.port_count()) return;
 
     const auto depth = sw_.egress(port).queue_depth_bytes();
-    if (depth < cfg_.threshold_bytes) return;
+    if (port >= ports_.size()) ports_.resize(port + 1);
+    auto& ps = ports_[port];
+
+    // Hysteresis: engage at the high watermark, disengage below the low
+    // one. Between the watermarks an engaged port stays engaged and a
+    // quiet port stays quiet.
+    if (!ps.engaged) {
+        if (depth < cfg_.high_watermark_bytes) return;
+        ps.engaged = true;
+        state.bump("backpressure_engagements");
+    } else if (depth < cfg_.low_watermark_bytes) {
+        ps.engaged = false;
+        ps.sources.clear(); // next engagement re-signals every source
+        return;
+    }
+
+    // Severity 0..255 over [low watermark, capacity].
+    const auto capacity = sw_.egress(port).config().queue_capacity_bytes;
+    const auto over = depth > cfg_.low_watermark_bytes ? depth - cfg_.low_watermark_bytes : 0;
+    const auto room = capacity > cfg_.low_watermark_bytes
+                          ? capacity - cfg_.low_watermark_bytes
+                          : 1;
+    std::uint64_t level = room ? (over * 255) / room : 255;
+    if (level > 255) level = 255;
+    const unsigned band_width = 256 / (cfg_.level_bands ? cfg_.level_bands : 1);
+    const unsigned band = static_cast<unsigned>(level) / (band_width ? band_width : 1);
 
     const auto src = ctx.ip->src;
-    auto it = last_signal_.find(src);
-    if (it != last_signal_.end() && (ctx.now - it->second).ns < cfg_.min_interval.ns) return;
-    last_signal_[src] = ctx.now;
+    auto it = ps.sources.find(src);
+    if (it != ps.sources.end()) {
+        // Already signalled this engagement: only escalations get
+        // through, and no faster than min_interval.
+        if (band <= it->second.band
+            || (ctx.now - it->second.last).ns < cfg_.min_interval.ns) {
+            state.bump("backpressure_suppressed");
+            return;
+        }
+        state.bump("backpressure_escalations");
+        it->second = source_state{ctx.now, band};
+    } else {
+        ps.sources.emplace(src, source_state{ctx.now, band});
+    }
 
     wire::backpressure_body body;
-    const auto capacity = sw_.egress(port).config().queue_capacity_bytes;
-    // level 0..255 ~ occupancy above threshold scaled to remaining room
-    const auto over = depth - cfg_.threshold_bytes;
-    const auto room = capacity > cfg_.threshold_bytes ? capacity - cfg_.threshold_bytes : 1;
-    std::uint64_t level = room ? (over * 255) / room : 255;
-    body.level = static_cast<std::uint8_t>(level > 255 ? 255 : level);
+    body.level = static_cast<std::uint8_t>(level);
     body.origin = state.element_addr;
     body.queue_depth_pkts = static_cast<std::uint32_t>(sw_.egress(port).queue_depth_packets());
 
@@ -272,26 +305,41 @@ void duplication_stage::process(packet_context& ctx, element_state& state)
 
 // --------------------------------------------------------------------------
 
-unsigned timeliness_band_of(const netsim::packet& p)
+namespace {
+std::optional<wire::header> parse_mmtp_of(const netsim::packet& p)
 {
     byte_reader r(p.headers);
     const auto eth = wire::parse_eth(r);
-    if (!eth) return 2;
-    std::span<const std::uint8_t> rest;
-    if (eth->ethertype == wire::ethertype_mmtp) {
-        rest = std::span<const std::uint8_t>(p.headers).subspan(r.position());
-    } else if (eth->ethertype == wire::ethertype_ipv4) {
+    if (!eth) return std::nullopt;
+    if (eth->ethertype == wire::ethertype_ipv4) {
         const auto ip = wire::parse_ipv4(r);
-        if (!ip || ip->protocol != wire::ipproto_mmtp) return 2;
-        rest = std::span<const std::uint8_t>(p.headers).subspan(r.position());
-    } else {
-        return 2;
+        if (!ip || ip->protocol != wire::ipproto_mmtp) return std::nullopt;
+    } else if (eth->ethertype != wire::ethertype_mmtp) {
+        return std::nullopt;
     }
-    const auto h = wire::parse(rest);
+    const auto rest = std::span<const std::uint8_t>(p.headers).subspan(r.position());
+    return wire::parse(rest);
+}
+} // namespace
+
+unsigned timeliness_band_of(const netsim::packet& p)
+{
+    const auto h = parse_mmtp_of(p);
     if (!h) return 2;
     if (h->m.has(wire::feature::control)) return 0; // NAKs/notifications first
     if (h->m.has(wire::feature::timeliness)) return 0;
     return 1; // bulk DAQ
+}
+
+std::int64_t timeliness_slack_of(const netsim::packet& p)
+{
+    constexpr auto never = std::numeric_limits<std::int64_t>::max();
+    const auto h = parse_mmtp_of(p);
+    if (!h) return never;
+    if (h->m.has(wire::feature::control)) return never; // control is never shed
+    if (!h->timeliness || h->timeliness->deadline_us == 0) return never;
+    return static_cast<std::int64_t>(h->timeliness->deadline_us)
+           - static_cast<std::int64_t>(h->timeliness->age_us);
 }
 
 } // namespace mmtp::pnet

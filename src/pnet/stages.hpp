@@ -96,16 +96,28 @@ private:
 // ---------------------------------------------------------------------------
 
 struct backpressure_config {
-    /// Queue depth (bytes) on the packet's egress beyond which a signal
-    /// is sent toward the source.
-    std::uint64_t threshold_bytes{1 * 1024 * 1024};
+    /// Hysteresis watermarks on the egress queue depth (bytes). Signals
+    /// engage when depth reaches `high_watermark_bytes` and only
+    /// disengage once it falls back below `low_watermark_bytes` — the
+    /// gap keeps a queue oscillating around one threshold from emitting
+    /// a signal per data packet.
+    std::uint64_t low_watermark_bytes{512 * 1024};
+    std::uint64_t high_watermark_bytes{1 * 1024 * 1024};
     /// Minimum spacing between signals per source (rate limiting).
     sim_duration min_interval{sim_duration{100000}}; // 100 us
+    /// Severity quantization: the 0..255 level is split into this many
+    /// bands, and an already-signalled source is only re-signalled when
+    /// the level *escalates* into a higher band. Keeps the signal stream
+    /// O(watermark crossings + escalations), not O(packets).
+    unsigned level_bands{8};
 };
 
-/// Watches the egress queue the packet is about to join; if it is deeper
-/// than the threshold and the packet's mode allows backpressure, sends a
+/// Watches the egress queue the packet is about to join; when it crosses
+/// the high watermark and the packet's mode allows backpressure, sends a
 /// backpressure control message to the packet's source (Fig. 3 ⑤→①).
+/// Hysteresis + per-source escalation bands + a minimum signal interval
+/// bound the emitted control traffic; there is no explicit release signal
+/// — senders recover through their own quiet-period AIMD schedule.
 class backpressure_stage final : public pipeline_stage {
 public:
     backpressure_stage(programmable_switch& sw, backpressure_config cfg = {});
@@ -114,9 +126,18 @@ public:
     std::string name() const override { return "backpressure"; }
 
 private:
+    struct source_state {
+        sim_time last{};
+        unsigned band{0};
+    };
+    struct port_state {
+        bool engaged{false};
+        std::unordered_map<wire::ipv4_addr, source_state> sources;
+    };
+
     programmable_switch& sw_;
     backpressure_config cfg_;
-    std::unordered_map<wire::ipv4_addr, sim_time> last_signal_;
+    std::vector<port_state> ports_;
 };
 
 // ---------------------------------------------------------------------------
@@ -153,5 +174,12 @@ private:
 unsigned timeliness_band_of(const netsim::packet& p);
 
 constexpr unsigned timeliness_bands = 3;
+
+/// Deadline slack (µs) for deadline-aware shedding in
+/// netsim::priority_queue_disc: deadline minus accumulated age for
+/// timeliness-mode data packets, INT64_MAX (never shed) for control
+/// packets and anything without a deadline. Negative slack means the
+/// packet is already past its deadline.
+std::int64_t timeliness_slack_of(const netsim::packet& p);
 
 } // namespace mmtp::pnet

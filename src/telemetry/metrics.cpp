@@ -145,6 +145,12 @@ void register_planner_metrics(metrics_registry& reg, const control::capacity_pla
                   [pl] { return pl->stats().flows_rerouted; });
     reg.add_probe("planner_flows_stranded", {},
                   [pl] { return pl->stats().flows_stranded; });
+    reg.add_probe("planner_denied_pressure", {},
+                  [pl] { return pl->stats().admissions_denied_pressure; });
+    reg.add_probe("planner_deferred", {},
+                  [pl] { return pl->stats().admissions_deferred; });
+    reg.add_probe("planner_deferred_admitted", {},
+                  [pl] { return pl->stats().deferred_admitted; });
     for (const auto& id : links) {
         reg.add_probe("planner_committed_bps", {{"link", id}},
                       [pl, id] { return pl->committed(id).bits_per_sec; });
@@ -169,6 +175,8 @@ void register_stack_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("stack_data_in", base, [s] { return s->stats().data_in; });
     reg.add_probe("stack_control_in", base, [s] { return s->stats().control_in; });
     reg.add_probe("stack_malformed", base, [s] { return s->stats().malformed; });
+    reg.add_probe("stack_control_parse_errors", base,
+                  [s] { return s->stats().control_parse_errors; });
     reg.add_probe("stack_sent", base, [s] { return s->stats().sent; });
 }
 
@@ -182,6 +190,16 @@ void register_sender_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("sender_bytes", base, [sp] { return sp->stats().bytes; });
     reg.add_probe("sender_backpressure_signals", base,
                   [sp] { return sp->stats().backpressure_signals; });
+    reg.add_probe("sender_bp_decreases", base, [sp] { return sp->stats().bp_decreases; });
+    reg.add_probe("sender_bp_floor_hits", base, [sp] { return sp->stats().bp_floor_hits; });
+    reg.add_probe("sender_bp_recovery_steps", base,
+                  [sp] { return sp->stats().bp_recovery_steps; });
+    reg.add_probe("sender_bp_recoveries", base,
+                  [sp] { return sp->stats().bp_recoveries; });
+    reg.add_probe("sender_suppressed_ns", base,
+                  [sp] { return sp->stats().suppressed_ns; });
+    reg.add_probe("sender_effective_pace_bps", base,
+                  [sp] { return sp->effective_pace().bits_per_sec; });
     reg.add_probe("sender_reroutes", base, [sp] { return sp->stats().reroutes; });
 }
 
@@ -212,6 +230,39 @@ void register_buffer_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("buffer_retransmitted", base,
                   [bp] { return bp->stats().retransmitted; });
     reg.add_probe("buffer_unavailable", base, [bp] { return bp->stats().unavailable; });
+    reg.add_probe("buffer_bytes_used", base, [bp] { return bp->buffer().bytes_used(); });
+    reg.add_probe("buffer_pressure_engaged", base,
+                  [bp] { return bp->pressure_engaged() ? 1u : 0u; });
+    reg.add_probe("buffer_pressure_engagements", base,
+                  [bp] { return bp->stats().pressure_engagements; });
+    reg.add_probe("buffer_pressure_releases", base,
+                  [bp] { return bp->stats().pressure_releases; });
+    reg.add_probe("buffer_pressure_signals", base,
+                  [bp] { return bp->stats().pressure_signals; });
+    reg.add_probe("buffer_retransmit_dedup", base,
+                  [bp] { return bp->stats().retransmit_dedup; });
+    reg.add_probe("buffer_retransmit_queue_peak", base,
+                  [bp] { return bp->stats().retransmit_queue_peak; });
+}
+
+void register_priority_queue_metrics(metrics_registry& reg, const std::string& link_name,
+                                     const netsim::priority_queue_disc& q)
+{
+    const netsim::priority_queue_disc* qp = &q;
+    const metric_labels base{{"link", link_name}};
+    reg.add_probe("pq_enqueued", base, [qp] { return qp->stats().enqueued; });
+    reg.add_probe("pq_dequeued", base, [qp] { return qp->stats().dequeued; });
+    reg.add_probe("pq_dropped", base, [qp] { return qp->stats().dropped; });
+    reg.add_probe("pq_shed", base, [qp] { return qp->stats().shed; });
+    reg.add_probe("pq_shed_bytes", base, [qp] { return qp->stats().shed_bytes; });
+    reg.add_probe("pq_peak_bytes", base, [qp] { return qp->stats().peak_bytes; });
+    for (unsigned b = 0; b < q.band_count(); ++b) {
+        const metric_labels bl{{"link", link_name}, {"band", std::to_string(b)}};
+        reg.add_probe("pq_band_dropped", bl, [qp, b] { return qp->band_dropped(b); });
+        reg.add_probe("pq_band_shed", bl, [qp, b] { return qp->band_shed(b); });
+        reg.add_probe("pq_band_shed_bytes", bl,
+                      [qp, b] { return qp->band_shed_bytes(b); });
+    }
 }
 
 } // namespace mmtp::telemetry

@@ -22,6 +22,7 @@
 namespace mmtp::netsim {
 class engine;
 class link;
+class priority_queue_disc;
 } // namespace mmtp::netsim
 namespace mmtp::control {
 class capacity_planner;
@@ -136,8 +137,14 @@ void register_sender_metrics(metrics_registry& reg, const std::string& host,
 void register_receiver_metrics(metrics_registry& reg, const std::string& host,
                                const core::receiver& r);
 
-/// buffer_relayed/retransmitted/nak_requests/unavailable.
+/// buffer_relayed/retransmitted/nak_requests/unavailable, plus occupancy
+/// and storage-pressure watermark counters.
 void register_buffer_metrics(metrics_registry& reg, const std::string& host,
                              const core::buffer_service& b);
+
+/// pq_enqueued/dequeued/dropped/shed{link=...} plus per-band drop/shed
+/// counters for one priority egress queue (overload observability).
+void register_priority_queue_metrics(metrics_registry& reg, const std::string& link_name,
+                                     const netsim::priority_queue_disc& q);
 
 } // namespace mmtp::telemetry

@@ -6,6 +6,8 @@
 #include "daq/archive.hpp"
 #include "daq/message.hpp"
 #include "daq/wib.hpp"
+#include "mmtp/stack.hpp"
+#include "netsim/network.hpp"
 #include "tcp/segment.hpp"
 #include "wire/control.hpp"
 #include "wire/header.hpp"
@@ -152,6 +154,118 @@ TEST_P(fuzz_seeds, archive_reader_survives_bit_flips_of_valid_blob)
         }
     }
     SUCCEED();
+}
+
+TEST_P(fuzz_seeds, stack_counts_corrupted_control_payloads)
+{
+    // Truncated/corrupted control bodies dispatched through a real stack
+    // must be dropped *and accounted* (stack_stats::control_parse_errors),
+    // never crash, and never invoke a typed handler. The oracle is the
+    // standalone parser: the stack must agree with it payload for payload.
+    rng r(GetParam() + 8);
+    netsim::network net(GetParam() + 800);
+    auto& a = net.add_host("a");
+    auto& b = net.add_host("b");
+    net.connect(a, b, {});
+    net.compute_routes();
+    core::stack sa(a, net.ids());
+    core::stack sb(b, net.ids());
+
+    std::uint64_t handled = 0;
+    sb.set_nak_handler(
+        [&](const wire::nak_body&, wire::experiment_id, wire::ipv4_addr) { handled++; });
+    sb.add_backpressure_handler([&](const wire::backpressure_body&) { handled++; });
+    sb.set_deadline_handler([&](const wire::deadline_exceeded_body&) { handled++; });
+    sb.set_flush_handler([&](const wire::stream_flush_body&) { handled++; });
+    sb.set_advert_handler([&](const wire::buffer_advert_body&) { handled++; });
+
+    // A valid specimen of each body, so truncation/bit-flips start from
+    // bytes the parser would otherwise accept.
+    auto specimen = [&](wire::control_type t) {
+        byte_writer w;
+        switch (t) {
+        case wire::control_type::nak: {
+            wire::nak_body nak;
+            nak.requester = a.address();
+            nak.ranges = {{3, 9}, {20, 21}};
+            serialize(nak, w);
+            break;
+        }
+        case wire::control_type::backpressure: {
+            wire::backpressure_body bp;
+            bp.level = 200;
+            bp.origin = a.address();
+            serialize(bp, w);
+            break;
+        }
+        case wire::control_type::deadline_exceeded: {
+            wire::deadline_exceeded_body d;
+            d.sequence = 42;
+            serialize(d, w);
+            break;
+        }
+        case wire::control_type::stream_flush: {
+            wire::stream_flush_body f;
+            f.next_sequence = 77;
+            serialize(f, w);
+            break;
+        }
+        default: {
+            wire::buffer_advert_body ad;
+            ad.buffer_addr = b.address();
+            serialize(ad, w);
+            break;
+        }
+        }
+        return w.take();
+    };
+    auto parses = [](wire::control_type t, std::span<const std::uint8_t> bytes) {
+        switch (t) {
+        case wire::control_type::nak: return wire::parse_nak(bytes).has_value();
+        case wire::control_type::backpressure:
+            return wire::parse_backpressure(bytes).has_value();
+        case wire::control_type::deadline_exceeded:
+            return wire::parse_deadline_exceeded(bytes).has_value();
+        case wire::control_type::stream_flush:
+            return wire::parse_stream_flush(bytes).has_value();
+        default: return wire::parse_buffer_advert(bytes).has_value();
+        }
+    };
+
+    constexpr wire::control_type types[] = {
+        wire::control_type::nak,           wire::control_type::backpressure,
+        wire::control_type::deadline_exceeded, wire::control_type::stream_flush,
+        wire::control_type::buffer_advert,
+    };
+    std::uint64_t sent = 0, expect_ok = 0, expect_bad = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto type = types[r.uniform_int(0, std::size(types) - 1)];
+        auto payload = specimen(type);
+        switch (r.uniform_int(0, 2)) {
+        case 0: // truncate (possibly to empty)
+            payload.resize(r.uniform_int(0, payload.size() - 1));
+            break;
+        case 1: { // bit-flip a byte
+            if (!payload.empty()) {
+                const auto pos = r.uniform_int(0, payload.size() - 1);
+                payload[pos] ^= static_cast<std::uint8_t>(1u << r.uniform_int(0, 7));
+            }
+            break;
+        }
+        default: // replace with arbitrary bytes
+            payload = random_bytes(r, 48);
+            break;
+        }
+        (parses(type, payload) ? expect_ok : expect_bad)++;
+        sa.send_control(b.address(), 7, type, std::move(payload));
+        sent++;
+    }
+    net.sim().run();
+
+    EXPECT_EQ(sb.stats().control_in, sent);
+    EXPECT_EQ(sb.stats().control_parse_errors, expect_bad);
+    EXPECT_EQ(handled, expect_ok);
+    EXPECT_GT(expect_bad, 0u); // the corpus actually exercised the drop path
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, fuzz_seeds, ::testing::Values(1u, 2u, 3u, 4u, 5u));

@@ -170,14 +170,65 @@ TEST(mmtp_sender, backpressure_scales_pace_down_then_recovers)
     byte_writer w;
     serialize(bp, w);
     t.sb->send_control(t.a->address(), 0, wire::control_type::backpressure, w.take());
-    t.net.sim().run();
+    // Recovery is event-driven now, so stop inside the hold to observe
+    // the suppressed pace.
+    t.net.sim().run_until(t.net.sim().now() + 1_ms);
 
     EXPECT_EQ(tx.stats().backpressure_signals, 1u);
+    EXPECT_EQ(tx.stats().bp_decreases, 1u);
+    EXPECT_EQ(tx.stats().bp_floor_hits, 1u);
     EXPECT_NEAR(static_cast<double>(tx.effective_pace().bits_per_sec), 10000000.0, 1e6);
 
-    // after the hold expires, the pace recovers
+    // after the hold expires, additive recovery restores the full pace
     t.net.sim().run_until(t.net.sim().now() + 20_ms);
     EXPECT_EQ(tx.effective_pace().bits_per_sec, 100000000u);
+    EXPECT_FALSE(tx.suppressed());
+    EXPECT_EQ(tx.stats().bp_recoveries, 1u);
+    EXPECT_GE(tx.stats().bp_recovery_steps, 6u); // 0.1 -> 1.0 in 0.15 steps
+    EXPECT_GT(tx.stats().suppressed_ns, 0u);
+}
+
+TEST(mmtp_sender, weaker_signal_does_not_relax_stronger_suppression)
+{
+    // Regression (PR 4): the sender used to let the *latest* signal win —
+    // a level-64 signal arriving while a level-255 suppression was in
+    // force overwrote both the pace scale and the hold, quadrupling the
+    // pace of a sender the network had just told to slow to the floor.
+    mmtp_pair t;
+    sender_config cfg;
+    cfg.pace = data_rate::from_mbps(100);
+    cfg.backpressure_hold = 10_ms;
+    cfg.min_pace_fraction = 0.1;
+    sender tx(*t.sa, t.b->address(), cfg);
+
+    auto signal = [&](std::uint8_t level) {
+        wire::backpressure_body bp;
+        bp.level = level;
+        byte_writer w;
+        serialize(bp, w);
+        t.sb->send_control(t.a->address(), 0, wire::control_type::backpressure,
+                           w.take());
+    };
+
+    signal(255); // strongest possible: pace pinned at the floor
+    t.net.sim().run_until(t.net.sim().now() + 1_ms);
+    const auto floor_pace = tx.effective_pace().bits_per_sec;
+    EXPECT_NEAR(static_cast<double>(floor_pace), 10e6, 1e6);
+
+    signal(64); // later but weaker: must not raise the pace
+    t.net.sim().run_until(t.net.sim().now() + 1_ms);
+    EXPECT_EQ(tx.stats().backpressure_signals, 2u);
+    EXPECT_EQ(tx.stats().bp_decreases, 1u); // the weaker signal cut nothing
+    EXPECT_EQ(tx.effective_pace().bits_per_sec, floor_pace);
+    EXPECT_TRUE(tx.suppressed());
+
+    // The weaker signal still counts as congestion evidence: it extends
+    // the quiet period (max of expiries), after which additive recovery
+    // restores the configured pace exactly once.
+    t.net.sim().run_until(t.net.sim().now() + 30_ms);
+    EXPECT_EQ(tx.effective_pace().bits_per_sec, 100000000u);
+    EXPECT_FALSE(tx.suppressed());
+    EXPECT_EQ(tx.stats().bp_recoveries, 1u);
 }
 
 TEST(mmtp_sender, drive_schedules_source_messages)

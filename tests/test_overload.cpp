@@ -1,0 +1,313 @@
+// Overload-control tests (ctest label `overload`).
+//
+// Three layers of the PR-4 overload loop are pinned down here:
+//   - priority_queue_disc band-full accounting: the identities between
+//     would_accept()'s prediction and the dropped/dropped_bytes counters,
+//     and the conservation law enqueued = dequeued + live depth;
+//   - deadline-aware shedding: who yields (the entry strictly closest to
+//     its deadline), who never does (control, no-deadline traffic, ties),
+//     and how sheds are counted and observed;
+//   - the overload drill itself: 2× sustained offered load must produce a
+//     bounded deadline-miss rate, zero recovery give-ups, O(watermark
+//     crossings) backpressure signals, a fully recovered AIMD pace, and
+//     byte-identical same-seed telemetry.
+#include "netsim/queue.hpp"
+#include "pnet/stages.hpp"
+#include "scenario/overload.hpp"
+#include "wire/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace mmtp;
+using namespace mmtp::netsim;
+
+namespace {
+
+packet make_pkt(std::uint64_t id, std::uint64_t size)
+{
+    packet p;
+    p.id = id;
+    p.virtual_payload = size;
+    return p;
+}
+
+// Test slack function: the packet id *is* its deadline slack. Capture-less
+// (priority_queue_disc::slack_fn is a plain function pointer).
+std::int64_t id_slack(const packet& p)
+{
+    return static_cast<std::int64_t>(p.id);
+}
+
+unsigned band_zero(const packet&)
+{
+    return 0;
+}
+
+packet mmtp_packet(const wire::header& h, std::uint64_t payload = 1000)
+{
+    packet p;
+    p.headers = wire::build_mmtp_over_ipv4(0x02, 0x0a000001, 0x0a000002, h, payload);
+    p.virtual_payload = payload;
+    p.id = 1;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------- band-full accounting
+
+TEST(priority_queue_overload, tail_drop_accounting_matches_would_accept)
+{
+    // Without a slack function the queue is a plain tail-dropper, so
+    // would_accept() is an exact oracle: replay a mixed workload and
+    // demand the dropped/dropped_bytes counters equal the prediction.
+    priority_queue_disc q(2, 1000,
+                          [](const packet& p) { return static_cast<unsigned>(p.id % 2); });
+    std::uint64_t predicted_drops = 0, predicted_drop_bytes = 0, offered = 0;
+    std::uint64_t dequeued = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t size = 100 + (i * 37) % 301;
+        packet p = make_pkt(i, size);
+        const bool fits = q.would_accept(p);
+        const bool ok = q.enqueue(std::move(p));
+        EXPECT_EQ(ok, fits) << "packet " << i;
+        offered++;
+        if (!ok) {
+            predicted_drops++;
+            predicted_drop_bytes += size;
+        }
+        if (i % 5 == 4) { // drain a little so both outcomes keep occurring
+            packet out;
+            if (q.dequeue_into(out)) dequeued++;
+        }
+    }
+    EXPECT_GT(predicted_drops, 0u);
+    EXPECT_LT(predicted_drops, offered);
+
+    const auto& st = q.stats();
+    EXPECT_EQ(st.dropped, predicted_drops);
+    EXPECT_EQ(st.dropped_bytes, predicted_drop_bytes);
+    EXPECT_EQ(st.enqueued, offered - predicted_drops);
+    EXPECT_EQ(st.shed, 0u); // no slack function: never sheds
+    // Conservation: everything accepted is either delivered or still live.
+    EXPECT_EQ(st.enqueued, st.dequeued + q.packet_depth());
+    // Per-band counters partition the totals.
+    EXPECT_EQ(q.band_dropped(0) + q.band_dropped(1), st.dropped);
+    EXPECT_EQ(q.band_dropped_bytes(0) + q.band_dropped_bytes(1), st.dropped_bytes);
+    EXPECT_EQ(q.band_depth_bytes(0) + q.band_depth_bytes(1), q.byte_depth());
+
+    // Drain to empty: dequeues + live depth still balances.
+    packet out;
+    while (q.dequeue_into(out)) dequeued++;
+    EXPECT_EQ(q.stats().dequeued, dequeued);
+    EXPECT_EQ(q.stats().enqueued, dequeued);
+    EXPECT_EQ(q.byte_depth(), 0u);
+    EXPECT_EQ(q.packet_depth(), 0u);
+}
+
+// ---------------------------------------------- deadline-aware shedding
+
+TEST(priority_queue_overload, sheds_entry_closest_to_deadline_for_roomier_newcomer)
+{
+    priority_queue_disc q(1, 1200, band_zero, id_slack);
+    ASSERT_TRUE(q.enqueue(make_pkt(5, 400)));
+    ASSERT_TRUE(q.enqueue(make_pkt(1, 400))); // closest to its deadline
+    ASSERT_TRUE(q.enqueue(make_pkt(9, 400)));
+
+    // Band full; a newcomer with more slack evicts the slack-1 entry.
+    // would_accept() stays conservative — it predicts the tail-drop path
+    // and does not promise a shed.
+    packet newcomer = make_pkt(7, 400);
+    EXPECT_FALSE(q.would_accept(newcomer));
+    EXPECT_TRUE(q.enqueue(std::move(newcomer)));
+
+    EXPECT_EQ(q.stats().shed, 1u);
+    EXPECT_EQ(q.stats().shed_bytes, 400u);
+    EXPECT_EQ(q.band_shed(0), 1u);
+    EXPECT_EQ(q.band_shed_bytes(0), 400u);
+    EXPECT_EQ(q.stats().dropped, 0u);
+    EXPECT_EQ(q.packet_depth(), 3u); // tombstone not counted
+
+    // FIFO order among survivors; the tombstone is skipped silently.
+    EXPECT_EQ(q.dequeue()->id, 5u);
+    EXPECT_EQ(q.dequeue()->id, 9u);
+    EXPECT_EQ(q.dequeue()->id, 7u);
+    EXPECT_FALSE(q.dequeue().has_value());
+    EXPECT_EQ(q.stats().dequeued, 3u);
+}
+
+TEST(priority_queue_overload, ties_and_lower_slack_tail_drop_the_newcomer)
+{
+    priority_queue_disc q(1, 1200, band_zero, id_slack);
+    ASSERT_TRUE(q.enqueue(make_pkt(5, 400)));
+    ASSERT_TRUE(q.enqueue(make_pkt(6, 400)));
+    ASSERT_TRUE(q.enqueue(make_pkt(7, 400)));
+
+    // Equal slack: nobody is *strictly* closer to a deadline, so the
+    // newcomer tail-drops (no churn of equivalent packets).
+    EXPECT_FALSE(q.enqueue(make_pkt(5, 400)));
+    // Lower slack than everything queued: certainly no victim.
+    EXPECT_FALSE(q.enqueue(make_pkt(2, 400)));
+
+    EXPECT_EQ(q.stats().shed, 0u);
+    EXPECT_EQ(q.stats().dropped, 2u);
+    EXPECT_EQ(q.stats().dropped_bytes, 800u);
+    EXPECT_EQ(q.packet_depth(), 3u);
+}
+
+TEST(priority_queue_overload, sheds_repeatedly_until_newcomer_fits)
+{
+    priority_queue_disc q(1, 1000, band_zero, id_slack);
+    ASSERT_TRUE(q.enqueue(make_pkt(1, 300)));
+    ASSERT_TRUE(q.enqueue(make_pkt(2, 300)));
+    ASSERT_TRUE(q.enqueue(make_pkt(3, 300)));
+
+    std::vector<std::uint64_t> shed_ids;
+    q.set_shed_observer([&](const packet& p, unsigned band) {
+        shed_ids.push_back(p.id);
+        EXPECT_EQ(band, 0u);
+    });
+
+    // 600 bytes need two evictions: the two lowest-slack entries go, in
+    // deadline order.
+    EXPECT_TRUE(q.enqueue(make_pkt(10, 600)));
+    EXPECT_EQ(shed_ids, (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(q.stats().shed, 2u);
+    EXPECT_EQ(q.stats().shed_bytes, 600u);
+    EXPECT_EQ(q.packet_depth(), 2u);
+    EXPECT_EQ(q.dequeue()->id, 3u);
+    EXPECT_EQ(q.dequeue()->id, 10u);
+}
+
+TEST(priority_queue_overload, no_deadline_entries_are_never_shed)
+{
+    // INT64_MAX slack marks no-deadline traffic (control, bulk): a full
+    // band of it refuses any newcomer, deadline or not.
+    priority_queue_disc q(1, 800, band_zero, id_slack);
+    constexpr auto never = std::numeric_limits<std::int64_t>::max();
+    ASSERT_TRUE(q.enqueue(make_pkt(static_cast<std::uint64_t>(never), 400)));
+    ASSERT_TRUE(q.enqueue(make_pkt(static_cast<std::uint64_t>(never), 400)));
+
+    EXPECT_FALSE(q.enqueue(make_pkt(100, 400)));                              // deadline
+    EXPECT_FALSE(q.enqueue(make_pkt(static_cast<std::uint64_t>(never), 400))); // tie
+    EXPECT_EQ(q.stats().shed, 0u);
+    EXPECT_EQ(q.stats().dropped, 2u);
+}
+
+// ------------------------------------------- MMTP slack classification
+
+TEST(timeliness_slack, classifies_mmtp_headers)
+{
+    constexpr auto never = std::numeric_limits<std::int64_t>::max();
+
+    // Timeliness header: slack = deadline - age.
+    wire::header timed;
+    timed.experiment = wire::make_experiment_id(6, 0);
+    timed.m.set(wire::feature::timeliness);
+    wire::timeliness_field t;
+    t.deadline_us = 5000;
+    t.age_us = 1200;
+    timed.timeliness = t;
+    EXPECT_EQ(pnet::timeliness_slack_of(mmtp_packet(timed)), 3800);
+
+    // Already past its deadline: negative slack, first in line to shed.
+    t.age_us = 6000;
+    timed.timeliness = t;
+    EXPECT_EQ(pnet::timeliness_slack_of(mmtp_packet(timed)), -1000);
+
+    // Control is never shed, whatever its nominal deadline.
+    wire::header ctrl = timed;
+    ctrl.m.set(wire::feature::control);
+    ctrl.control = wire::control_type::nak;
+    EXPECT_EQ(pnet::timeliness_slack_of(mmtp_packet(ctrl)), never);
+
+    // No timeliness extension: no deadline to miss.
+    wire::header plain;
+    plain.experiment = wire::make_experiment_id(6, 0);
+    EXPECT_EQ(pnet::timeliness_slack_of(mmtp_packet(plain)), never);
+
+    // Non-MMTP bytes: opaque, never shed.
+    packet opaque;
+    opaque.virtual_payload = 100;
+    EXPECT_EQ(pnet::timeliness_slack_of(opaque), never);
+}
+
+// -------------------------------------------------- the overload drill
+
+TEST(overload_drill, bounded_misses_zero_giveups_and_aimd_recovery)
+{
+    const scenario::overload_config cfg;
+    const auto r = scenario::run_overload_drill(cfg);
+
+    // Nothing was abandoned: every message was delivered exactly once
+    // (originals or buf-recovered copies) and the tracker saw the stream
+    // become whole within its deadline.
+    EXPECT_EQ(r.rx.given_up, 0u);
+    EXPECT_EQ(r.rx.datagrams, r.messages_sent);
+    EXPECT_EQ(r.rx.duplicates, 0u);
+    EXPECT_GT(r.rx.recovered, 0u); // the overload really caused loss
+    ASSERT_TRUE(r.recovered);
+    EXPECT_GT(r.time_to_recover.ns, 0);
+    EXPECT_LT(r.time_to_recover.ns, cfg.probe_deadline.ns);
+
+    // Deadline misses are the drill's headline number: bounded (the
+    // documented R3 bound is < 80% at 2× overload; unbounded queues
+    // would converge on 100%) and dominated by sheds the policy chose.
+    EXPECT_GT(r.band0_shed, 0u);
+    EXPECT_GT(r.missed_deadline, 0u);
+    EXPECT_LT(r.miss_ppm, 800000u);
+
+    // Backpressure volume is O(watermark crossings + escalations), not
+    // O(packets): thousands of datagrams crossed an engaged switch but
+    // only a handful of signals left it.
+    EXPECT_GT(r.bp_engagements, 0u);
+    EXPECT_EQ(r.bp_signals, r.bp_engagements + r.bp_escalations);
+    EXPECT_LE(r.bp_signals, 64u);
+    EXPECT_GT(r.bp_suppressed, r.bp_signals * 100);
+
+    // AIMD: the pace was cut (floor or not), stepped back up, and ended
+    // the run at the configured rate.
+    EXPECT_GT(r.tx.bp_decreases, 0u);
+    EXPECT_GT(r.tx.bp_recovery_steps, 0u);
+    EXPECT_GT(r.tx.bp_recoveries, 0u);
+    EXPECT_GT(r.tx.suppressed_ns, 0u);
+    EXPECT_TRUE(r.pace_recovered);
+    EXPECT_EQ(r.final_pace_bps, cfg.pace.bits_per_sec);
+
+    // Storage watermarks gated the planner: the mid-overload flow was
+    // deferred, then admitted once retention decay released the pressure.
+    EXPECT_GT(r.pressure_engagements, 0u);
+    EXPECT_EQ(r.pressure_releases, r.pressure_engagements);
+    EXPECT_TRUE(r.second_flow_deferred);
+    EXPECT_TRUE(r.second_flow_admitted);
+    EXPECT_GT(r.second_flow_admitted_at.ns, cfg.second_flow_at.ns);
+    EXPECT_EQ(r.planner.admissions_deferred, r.planner.deferred_admitted);
+}
+
+TEST(overload_drill, same_seed_runs_emit_byte_identical_telemetry)
+{
+    const auto a = scenario::run_overload_drill(scenario::overload_config{});
+    const auto b = scenario::run_overload_drill(scenario::overload_config{});
+    ASSERT_FALSE(a.csv.empty());
+    EXPECT_EQ(a.csv, b.csv);
+    ASSERT_FALSE(a.metrics_csv.empty());
+    EXPECT_EQ(a.metrics_csv, b.metrics_csv);
+    // The traced shed→NAK→recovery story replays byte for byte too.
+    EXPECT_EQ(a.traced_sequence, b.traced_sequence);
+    EXPECT_EQ(a.hop_timeline, b.hop_timeline);
+}
+
+TEST(overload_drill, retransmissions_ride_bulk_band_and_are_never_shed)
+{
+    const auto r = scenario::run_overload_drill(scenario::overload_config{});
+    // buf's recovered copies cross the same WAN in band 1 (no deadline,
+    // no shedding) — repairs must not lose a second race. Band 1 sheds
+    // would mean the mode rule leaked timeliness onto retransmissions.
+    EXPECT_GT(r.buf.retransmitted, 0u);
+    EXPECT_EQ(r.wan_queue.shed, r.band0_shed); // every shed was band 0
+    // Paced repair kept the recovery burst from re-overloading the WAN:
+    // the queue actually built up and drained at the configured pace.
+    EXPECT_GT(r.buf.retransmit_queue_peak, 0u);
+}

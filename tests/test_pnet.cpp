@@ -595,7 +595,8 @@ TEST(backpressure, signal_emitted_above_threshold_and_rate_limited)
     net.compute_routes();
 
     backpressure_config cfg;
-    cfg.threshold_bytes = 10000;
+    cfg.low_watermark_bytes = 8000;
+    cfg.high_watermark_bytes = 10000;
     cfg.min_interval = 10_ms; // strict rate limiting for the test
     sw.add_stage(std::make_shared<backpressure_stage>(sw, cfg));
 
@@ -635,7 +636,8 @@ TEST(backpressure, no_signal_without_feature_bit)
     net.compute_routes();
 
     backpressure_config cfg;
-    cfg.threshold_bytes = 1000;
+    cfg.low_watermark_bytes = 500;
+    cfg.high_watermark_bytes = 1000;
     sw.add_stage(std::make_shared<backpressure_stage>(sw, cfg));
 
     int signals = 0;

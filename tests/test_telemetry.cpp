@@ -114,6 +114,9 @@ TEST(flight_recorder, traversed_checks_site_and_time)
 
 TEST(flight_recorder, scoped_recorder_installs_and_uninstalls)
 {
+#if !MMTP_TRACING
+    GTEST_SKIP() << "tracing compiled out (-DMMTP_DISABLE_TRACING=ON)";
+#endif
     EXPECT_FALSE(trace::active());
     {
         flight_recorder rec;
@@ -310,6 +313,9 @@ TEST(recovery_tracker, recovery_before_deadline_does_not_give_up)
 
 TEST(chaos_trace, failed_over_message_timeline_crosses_backup_span)
 {
+#if !MMTP_TRACING
+    GTEST_SKIP() << "tracing compiled out (-DMMTP_DISABLE_TRACING=ON)";
+#endif
     scenario::chaos_config cfg;
     cfg.messages = 400; // smaller drill, same story
     const auto r = scenario::run_chaos_drill(cfg);
