@@ -17,7 +17,7 @@
 //      advert) — which retransmits the stranded sequences.
 //
 // Run it twice with the same seed: the telemetry is byte-identical.
-#include "scenario/chaos.hpp"
+#include "scenario/driver.hpp"
 
 #include <cstdio>
 
@@ -26,13 +26,11 @@ int main()
     using namespace mmtp;
 
     scenario::chaos_config cfg;
-    std::printf("chaos drill: %llu messages of %u B, fault at %.1f ms\n",
-                static_cast<unsigned long long>(cfg.messages), cfg.message_bytes,
-                static_cast<double>(cfg.fault_at.ns) / 1e6);
+    scenario::chaos_driver d(cfg);
+    scenario::chaos_driver rerun(cfg);
+    const int rc = scenario::run_example(d, &rerun);
 
-    auto r = scenario::run_chaos_drill(cfg);
-    r.report.print();
-
+    const auto& r = d.result();
     std::printf("\n");
     if (r.recovered)
         std::printf("recovered %.3f ms after the fault (%llu probes)\n",
@@ -47,23 +45,20 @@ int main()
     // Hop-by-hop story of one failed-over message: sequenced at the
     // Tofino, cloned into the taps, NAKed after the fault, re-sent by
     // buf2 and delivered across the backup WAN span.
+    bool timeline_identical = true;
     if (r.traced_sequence != std::uint64_t(-1)) {
         std::printf("\nhop timeline of failed-over message (sequence %llu):\n%s",
                     static_cast<unsigned long long>(r.traced_sequence),
                     r.hop_timeline.c_str());
         std::printf("traversed backup span after the fault: %s\n",
                     r.traversed_backup ? "yes" : "NO");
+        timeline_identical = r.hop_timeline == rerun.result().hop_timeline;
     } else {
         std::printf("\nno failed-over message traced\n");
     }
 
-    std::printf("\nmetrics snapshot:\n%s", r.metrics_csv.c_str());
-
-    auto r2 = scenario::run_chaos_drill(cfg);
-    const bool identical = r.csv == r2.csv && r.hop_timeline == r2.hop_timeline
-        && r.metrics_csv == r2.metrics_csv;
-    std::printf("\nsame-seed rerun telemetry identical: %s\n",
-                identical ? "yes" : "NO — determinism broken");
-
-    return r.recovered && r.rx.given_up == 0 && identical && r.traversed_backup ? 0 : 1;
+    return rc == 0 && r.recovered && r.rx.given_up == 0 && r.traversed_backup
+            && timeline_identical
+        ? 0
+        : 1;
 }

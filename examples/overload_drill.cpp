@@ -22,7 +22,7 @@
 //      admitted automatically.
 //
 // Run it twice with the same seed: the telemetry is byte-identical.
-#include "scenario/overload.hpp"
+#include "scenario/driver.hpp"
 
 #include <cstdio>
 
@@ -31,17 +31,11 @@ int main()
     using namespace mmtp;
 
     scenario::overload_config cfg;
-    const double offered =
-        (8.0 * cfg.message_bytes) / (static_cast<double>(cfg.message_interval.ns) / 1e9);
-    std::printf("overload drill: %llu messages of %u B (%.1f Gbps offered over a "
-                "%.1f Gbps WAN), deadline %u us\n",
-                static_cast<unsigned long long>(cfg.messages), cfg.message_bytes,
-                offered / 1e9,
-                static_cast<double>(cfg.wan_rate.bits_per_sec) / 1e9, cfg.deadline_us);
+    scenario::overload_driver d(cfg);
+    scenario::overload_driver rerun(cfg);
+    const int rc = scenario::run_example(d, &rerun);
 
-    auto r = scenario::run_overload_drill(cfg);
-    r.report.print();
-
+    const auto& r = d.result();
     std::printf("\n");
     std::printf("deadline misses: %llu of %llu (%llu ppm), given up: %llu\n",
                 static_cast<unsigned long long>(r.missed_deadline),
@@ -75,21 +69,18 @@ int main()
     // Hop-by-hop story of the first deadline-shed message: sequenced at
     // the Tofino, evicted from the WAN egress for being closest to its
     // deadline, NAKed, and re-sent from buf on the bulk band.
+    bool timeline_identical = true;
     if (r.traced_sequence != std::uint64_t(-1)) {
         std::printf("\nhop timeline of first shed message (sequence %llu):\n%s",
                     static_cast<unsigned long long>(r.traced_sequence),
                     r.hop_timeline.c_str());
+        timeline_identical = r.hop_timeline == rerun.result().hop_timeline;
     } else {
         std::printf("\nno shed message traced\n");
     }
 
-    std::printf("\nmetrics snapshot:\n%s", r.metrics_csv.c_str());
-
-    auto r2 = scenario::run_overload_drill(cfg);
-    const bool identical = r.csv == r2.csv && r.hop_timeline == r2.hop_timeline
-        && r.metrics_csv == r2.metrics_csv;
-    std::printf("\nsame-seed rerun telemetry identical: %s\n",
-                identical ? "yes" : "NO — determinism broken");
-
-    return r.recovered && r.rx.given_up == 0 && r.pace_recovered && identical ? 0 : 1;
+    return rc == 0 && r.recovered && r.rx.given_up == 0 && r.pace_recovered
+            && timeline_identical
+        ? 0
+        : 1;
 }

@@ -4,16 +4,17 @@
 // through the DAQ network (mode 0, directly on Ethernet), upgrades to the
 // age-sensitive + recoverable-loss mode at the Tofino2-class element,
 // crosses a lossy WAN span, runs the age check at the Alveo-class element
-// and the timeliness check at DTN 2. Prints the per-stage story and the
-// three modes observed in flight.
+// and the timeliness check at DTN 2. The control plane is the policy
+// engine's static preset — the same compiled plan the closed-loop drills
+// start from. Prints the per-stage story and the modes observed in flight.
 //
 //   $ ./pilot_study [loss%]          (default 2)
-#include "daq/trigger.hpp"
-#include "scenario/pilot.hpp"
-#include "telemetry/report.hpp"
+#include "scenario/driver.hpp"
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 using namespace mmtp;
 using namespace mmtp::literals;
@@ -22,70 +23,37 @@ int main(int argc, char** argv)
 {
     const double loss = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.02;
 
-    scenario::pilot_config cfg;
-    cfg.wan_loss = loss;
-    cfg.wan_delay = 5_ms;
-    auto tb = scenario::make_pilot(cfg);
+    scenario::pilot_driver::options opt;
+    opt.pilot.wan_loss = loss;
+    opt.pilot.wan_delay = 5_ms;
+    opt.records = 5000;
+    scenario::pilot_driver d(opt);
 
-    // Observe the modes arriving at DTN 2.
+    // Observe the modes arriving at DTN 2 — hook the testbed before run.
+    d.prepare();
+    auto& tb = d.testbed();
     std::vector<std::string> seen_modes;
-    tb->dtn2_rx->set_on_datagram([&](const core::delivered_datagram& d) {
-        const auto s = to_string(d.hdr.m);
+    tb.dtn2_rx->set_on_datagram([&](const core::delivered_datagram& dd) {
+        const auto s = to_string(dd.hdr.m);
         for (const auto& m : seen_modes)
             if (m == s) return;
         seen_modes.push_back(s);
     });
 
-    daq::iceberg_stream::config icfg;
-    icfg.record_limit = 5000;
-    daq::iceberg_stream source(tb->net.fork_rng(), icfg);
-    std::printf("pilot study: %llu ICEBERG trigger records, %.1f%% WAN loss, "
-                "%.0f ms WAN delay\n",
-                static_cast<unsigned long long>(icfg.record_limit), loss * 100.0,
-                cfg.wan_delay.millis());
-    tb->sensor_tx->drive(source);
-    tb->net.sim().run();
-
-    telemetry::table t("pilot study results (Fig. 4 topology)");
-    t.set_columns({"stage", "metric", "value"});
-    t.add_row({"sensor->DTN1 (mode 0, L2)", "messages",
-               telemetry::fmt_count(tb->sensor_tx->stats().messages)});
-    t.add_row({"DTN1 buffer", "relayed",
-               telemetry::fmt_count(tb->dtn1_svc->stats().relayed)});
-    t.add_row({"DTN1 buffer", "bytes buffered (peak)",
-               telemetry::fmt_count(tb->dtn1_svc->buffer().stats().peak_bytes)});
-    t.add_row({"Tofino2 (mode 0->1)", "mode transitions",
-               telemetry::fmt_count(tb->tofino2->state().counter("mode_transitions"))});
-    t.add_row({"WAN", "NAK requests served",
-               telemetry::fmt_count(tb->dtn1_svc->stats().nak_requests)});
-    t.add_row({"WAN", "datagrams retransmitted",
-               telemetry::fmt_count(tb->dtn1_svc->stats().retransmitted)});
-    t.add_row({"DTN2 (mode 2 check)", "delivered",
-               telemetry::fmt_count(tb->dtn2_rx->stats().datagrams)});
-    t.add_row({"DTN2", "recovered", telemetry::fmt_count(tb->dtn2_rx->stats().recovered)});
-    t.add_row({"DTN2", "unrecoverable",
-               telemetry::fmt_count(tb->dtn2_rx->stats().given_up)});
-    t.add_row({"DTN2", "aged on arrival",
-               telemetry::fmt_count(tb->dtn2_rx->stats().aged_on_arrival)});
-    t.add_row({"DTN2", "p50 / p99 age",
-               telemetry::fmt_duration_us(
-                   static_cast<double>(tb->dtn2_rx->stats().age_us.percentile(50)))
-                   + " / "
-                   + telemetry::fmt_duration_us(static_cast<double>(
-                       tb->dtn2_rx->stats().age_us.percentile(99)))});
-    t.add_row({"DTN2", "p50 recovery latency",
-               telemetry::fmt_duration_us(static_cast<double>(
-                   tb->dtn2_rx->stats().recovery_latency_us.percentile(50)))});
-    t.print();
+    const int rc = scenario::run_example(d);
 
     std::printf("\nmodes observed at DTN2: ");
     for (const auto& m : seen_modes) std::printf("%s ", m.c_str());
-    std::printf("\n(policy deadline: %u us; NAK retry: %.1f ms)\n",
-                tb->policy.deadline_us, tb->policy.suggested_nak_retry.millis());
+    std::printf("\n(policy deadline: %u us; NAK retry: %.1f ms; p50/p99 age: "
+                "%llu/%llu us)\n",
+                tb.policy.deadline_us, tb.policy.suggested_nak_retry.millis(),
+                static_cast<unsigned long long>(tb.dtn2_rx->stats().age_us.percentile(50)),
+                static_cast<unsigned long long>(
+                    tb.dtn2_rx->stats().age_us.percentile(99)));
 
-    const bool ok = tb->dtn2_rx->stats().datagrams == icfg.record_limit
-        && tb->dtn2_rx->stats().given_up == 0;
+    const bool ok = tb.dtn2_rx->stats().datagrams == opt.records
+        && tb.dtn2_rx->stats().given_up == 0;
     std::printf("\n%s\n", ok ? "OK: pilot delivered every record exactly once."
                              : "FAILED: pilot lost records!");
-    return ok ? 0 : 1;
+    return ok && rc == 0 ? 0 : 1;
 }

@@ -28,6 +28,10 @@ const char* hop_name(hop k)
     case hop::mmtp_failover: return "failover";
     case hop::mmtp_giveup: return "give_up";
     case hop::mmtp_drop: return "endpoint_drop";
+    case hop::ctl_reconfig_planned: return "reconfig_planned";
+    case hop::ctl_reconfig_installed: return "reconfig_installed";
+    case hop::ctl_reconfig_committed: return "reconfig_committed";
+    case hop::ctl_reconfig_aborted: return "reconfig_aborted";
     }
     return "?";
 }

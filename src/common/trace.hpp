@@ -57,6 +57,11 @@ enum class hop : std::uint8_t {
     mmtp_failover,   // stream retargeted at fallback buffer (arg = its addr)
     mmtp_giveup,     // range abandoned as unrecoverable (arg = packed range)
     mmtp_drop,       // endpoint discarded a payload (reason says why)
+    // control-plane reconfiguration spans (packet_id = 0, arg = epoch)
+    ctl_reconfig_planned,   // engine decided to re-plan (arg = new epoch)
+    ctl_reconfig_installed, // new epoch's rules live on the elements
+    ctl_reconfig_committed, // drain window over; old epoch retired
+    ctl_reconfig_aborted,   // plan dropped (duplicate / no-op / superseded)
 };
 
 /// Why a *_drop record was emitted.

@@ -102,11 +102,17 @@ void buffer_service::check_pressure(wire::ipv4_addr src, wire::experiment_id exp
 
     // Tell the upstream sender to slow down — once per source per
     // engagement (the sender's own hold/recovery schedule takes it from
-    // there). L2-fed taps have no routable source to signal.
+    // there), and never within timing.hold of the previous signal to the
+    // same source: a watermark flapping across engagements must not turn
+    // into a signal storm. L2-fed taps have no routable source to signal.
     if (src == 0) return;
-    auto& epoch = signalled_epoch_[src];
-    if (epoch == pressure_epoch_) return;
-    epoch = pressure_epoch_;
+    auto& sig = signalled_[src];
+    if (sig.epoch == pressure_epoch_) return;
+    if (cfg_.timing.hold.ns > 0 && sig.epoch != 0
+        && (now - sig.last).ns < cfg_.timing.hold.ns) {
+        return; // suppressed; re-checked on the next store/poll
+    }
+    sig = {pressure_epoch_, now};
 
     wire::backpressure_body body;
     body.level = cfg_.pressure_level;

@@ -17,6 +17,7 @@
 
 #include "dtn/buffer.hpp"
 #include "mmtp/stack.hpp"
+#include "mmtp/timing_profile.hpp"
 
 #include <deque>
 #include <set>
@@ -64,6 +65,12 @@ struct buffer_service_config {
     /// through. While a sequence is still waiting in the paced queue,
     /// repeated NAKs for it are absorbed instead of duplicating it.
     data_rate retransmit_pace{0};
+    /// Shared retry/backoff schedule. The service uses `timing.hold` as
+    /// a per-source quiet period for storage-pressure signals: a source
+    /// signalled less than `hold` ago is not re-signalled even by a new
+    /// engagement, so a rapidly flapping occupancy watermark cannot emit
+    /// a signal storm (0 restores signal-per-engagement).
+    timing_profile timing{};
 };
 
 struct buffer_service_stats {
@@ -144,8 +151,13 @@ private:
     pressure_cb pressure_handler_;
     bool pressure_engaged_{false};
     std::uint64_t pressure_epoch_{0};
-    // one storage-pressure signal per source per engagement
-    std::unordered_map<wire::ipv4_addr, std::uint64_t> signalled_epoch_;
+    // One storage-pressure signal per source per engagement, and no
+    // sooner than timing.hold after the previous signal to that source.
+    struct signal_state {
+        std::uint64_t epoch{0};
+        sim_time last{};
+    };
+    std::unordered_map<wire::ipv4_addr, signal_state> signalled_;
 };
 
 } // namespace mmtp::core

@@ -22,7 +22,7 @@ void receiver::on_flush(const wire::stream_flush_body& f)
     if (f.next_sequence > st.highest) st.highest = f.next_sequence;
     st.base = st.received.next_missing(st.base);
     if (st.base < st.highest && !st.check_scheduled)
-        schedule_check(k, cfg_.reorder_grace);
+        schedule_check(k, cfg_.timing.reorder_grace);
 }
 
 std::uint64_t receiver::outstanding_gaps() const
@@ -57,6 +57,21 @@ void receiver::on_data(delivered_datagram&& d)
     } else if (h.timestamp_ns) {
         const auto age_ns = now.ns - static_cast<std::int64_t>(*h.timestamp_ns);
         stats_.age_us.record(age_ns > 0 ? static_cast<std::uint64_t>(age_ns / 1000) : 0);
+    }
+
+    // Cross-epoch tolerance: a control-plane mode shift arrives as a new
+    // policy epoch in cfg_id, possibly with a different feature set.
+    // Sequence state is keyed by the *stream* epoch (below), so the
+    // sequence space continues seamlessly across the shift; here we only
+    // observe the transition. A remembered buffer address survives
+    // epochs whose rules drop the retransmission field, so gaps opened
+    // under an older, recoverable epoch can still be repaired.
+    auto pe = policy_epochs_.find(h.experiment);
+    if (pe == policy_epochs_.end()) {
+        policy_epochs_.emplace(h.experiment, h.m.cfg_id);
+    } else if (pe->second != h.m.cfg_id) {
+        pe->second = h.m.cfg_id;
+        stats_.mode_shifts_seen++;
     }
 
     if (h.sequencing) {
@@ -94,7 +109,7 @@ void receiver::on_data(delivered_datagram&& d)
         }
 
         if (st.base < st.highest && !st.check_scheduled) {
-            schedule_check(k, cfg_.reorder_grace);
+            schedule_check(k, cfg_.timing.reorder_grace);
         }
     }
 
@@ -119,9 +134,9 @@ sim_duration receiver::retry_interval(std::uint32_t attempts) const
     // attempts means the gap has never been NAKed — due immediately.
     if (attempts == 0) return sim_duration::zero();
     const unsigned shift = attempts - 1 < 20u ? attempts - 1 : 20u;
-    sim_duration d{cfg_.nak_retry.ns << shift};
-    if (cfg_.nak_retry_cap.ns > 0 && d.ns > cfg_.nak_retry_cap.ns)
-        d = cfg_.nak_retry_cap;
+    sim_duration d{cfg_.timing.retry_base.ns << shift};
+    if (cfg_.timing.retry_cap.ns > 0 && d.ns > cfg_.timing.retry_cap.ns)
+        d = cfg_.timing.retry_cap;
     return d;
 }
 
@@ -143,11 +158,11 @@ void receiver::run_check(const stream_key& k)
     // NAKs for any gap, retarget the stream at the fallback buffer and
     // restart the retry budget — backoff restarts with it, so recovery
     // from the healthy buffer is probed at the base interval again.
-    if (!st.failed_over && fallback_buffer_ != 0 && cfg_.failover_attempts > 0) {
+    if (!st.failed_over && fallback_buffer_ != 0 && cfg_.timing.failover_attempts > 0) {
         for (const auto& [a, b] : gaps) {
             (void)b;
             auto git = st.gaps.find(a);
-            if (git == st.gaps.end() || git->second.attempts < cfg_.failover_attempts)
+            if (git == st.gaps.end() || git->second.attempts < cfg_.timing.failover_attempts)
                 continue;
             st.failed_over = true;
             stats_.buffer_failovers++;
@@ -182,7 +197,7 @@ void receiver::run_check(const stream_key& k)
         auto& g = st.gaps[a];
         if (g.first_detected == sim_time::zero()) g.first_detected = now;
 
-        if (g.attempts >= cfg_.max_nak_attempts) {
+        if (g.attempts >= cfg_.timing.max_attempts) {
             // Unrecoverable: resolve the gap so delivery accounting moves
             // on, and report each abandoned sequence.
             stats_.given_up += b - a;
@@ -212,7 +227,7 @@ void receiver::run_check(const stream_key& k)
     // Next wake-up: the earliest instant an unresolved gap becomes due
     // again under its backed-off interval (given-up gaps were resolved
     // above, so they no longer appear here).
-    sim_duration next = retry_interval(cfg_.max_nak_attempts);
+    sim_duration next = retry_interval(cfg_.timing.max_attempts);
     for (const auto& [a, b] : st.received.gaps(st.base, st.highest)) {
         (void)b;
         sim_duration wait = sim_duration::zero();

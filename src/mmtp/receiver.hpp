@@ -13,6 +13,7 @@
 #include "common/histogram.hpp"
 #include "common/interval_set.hpp"
 #include "mmtp/stack.hpp"
+#include "mmtp/timing_profile.hpp"
 
 #include <functional>
 #include <map>
@@ -20,24 +21,35 @@
 namespace mmtp::core {
 
 struct receiver_config {
-    /// Wait before declaring a gap a loss (absorbs reordering).
-    sim_duration reorder_grace{sim_duration{200000}}; // 200 us
-    /// Base retry interval for unanswered NAKs (should exceed the RTT to
-    /// the buffer; the mode policy sets this per deployment). Retries
-    /// back off exponentially: the n-th retry waits base * 2^(n-1),
-    /// capped at nak_retry_cap.
-    sim_duration nak_retry{sim_duration{5000000}}; // 5 ms
-    /// Ceiling for the backed-off retry interval.
-    sim_duration nak_retry_cap{sim_duration{40000000}}; // 40 ms
-    std::uint32_t max_nak_attempts{5};
-    /// Unanswered attempts at the primary buffer before the stream fails
-    /// over to the fallback buffer (if one is known). The retry budget
-    /// and backoff restart at the fallback; give-up happens only after a
-    /// further max_nak_attempts there. 0 disables failover.
-    std::uint32_t failover_attempts{3};
     /// Destination deadline check (pilot mode 3): count and report
     /// datagrams whose age exceeds their deadline on arrival.
     bool check_deadline{true};
+    /// Shared retry/backoff schedule: reorder grace, NAK retry base/cap
+    /// (the mode policy sets the base per deployment — it should exceed
+    /// the RTT to the buffer), attempt budget and failover threshold.
+    /// The retry budget and backoff restart at the fallback buffer;
+    /// give-up happens only after a further max_attempts there.
+    timing_profile timing{};
+
+    /// Deprecated aliases (one release): old field names for the knobs
+    /// that moved into `timing`.
+    sim_duration& reorder_grace{timing.reorder_grace};
+    sim_duration& nak_retry{timing.retry_base};
+    sim_duration& nak_retry_cap{timing.retry_cap};
+    std::uint32_t& max_nak_attempts{timing.max_attempts};
+    std::uint32_t& failover_attempts{timing.failover_attempts};
+
+    receiver_config() = default;
+    receiver_config(const receiver_config& o)
+        : check_deadline(o.check_deadline), timing(o.timing)
+    {
+    }
+    receiver_config& operator=(const receiver_config& o)
+    {
+        check_deadline = o.check_deadline;
+        timing = o.timing; // aliases rebind nothing: they track our own timing
+        return *this;
+    }
 };
 
 struct receiver_stats {
@@ -51,6 +63,10 @@ struct receiver_stats {
     std::uint64_t buffer_failovers{0}; // streams switched to the fallback
     std::uint64_t given_up{0};       // sequences abandoned after retries
     std::uint64_t aged_on_arrival{0}; // deadline already exceeded (flag/age)
+    /// Arrivals whose stamped policy epoch (cfg_id) differed from the
+    /// previous arrival of the same experiment — runtime mode shifts
+    /// (and stragglers of the old epoch) observed at the destination.
+    std::uint64_t mode_shifts_seen{0};
     histogram age_us;                 // age distribution of arrivals
     histogram recovery_latency_us;    // gap detected -> gap filled
 };
@@ -80,6 +96,14 @@ public:
 
     /// Sequences currently believed missing across all streams.
     std::uint64_t outstanding_gaps() const;
+
+    /// Policy epoch stamped on the most recent arrival of `experiment`
+    /// (0 if none seen yet).
+    std::uint8_t last_policy_epoch(wire::experiment_id experiment) const
+    {
+        auto it = policy_epochs_.find(experiment);
+        return it == policy_epochs_.end() ? 0 : it->second;
+    }
 
 private:
     struct stream_key {
@@ -112,6 +136,7 @@ private:
     receiver_config cfg_;
     receiver_stats stats_;
     std::map<stream_key, stream_state> streams_;
+    std::map<wire::experiment_id, std::uint8_t> policy_epochs_;
     wire::ipv4_addr fallback_buffer_{0};
     std::uint32_t trace_site_{0};
     datagram_cb on_datagram_;

@@ -36,6 +36,13 @@ void sender::reroute(wire::ipv4_addr new_dst)
     epoch_++;
 }
 
+void sender::set_origin_mode(wire::mode m)
+{
+    if (m == cfg_.origin_mode) return;
+    cfg_.origin_mode = m;
+    stats_.origin_mode_updates++;
+}
+
 void sender::on_backpressure(const wire::backpressure_body& b)
 {
     stats_.backpressure_signals++;
@@ -57,7 +64,7 @@ void sender::on_backpressure(const wire::backpressure_body& b)
 
     // Every signal pushes the quiet-period horizon out; keep the max so
     // overlapping signals extend, never shorten, the hold.
-    const auto until = now + cfg_.backpressure_hold;
+    const auto until = now + cfg_.timing.hold;
     if (until > bp_until_) bp_until_ = until;
     schedule_recovery();
 }
@@ -91,7 +98,7 @@ void sender::recovery_step()
         stats_.suppressed_ns += static_cast<std::uint64_t>((now - suppressed_since_).ns);
     } else {
         recovery_scheduled_ = true;
-        stack_.sim().schedule_in(cfg_.recovery_interval, netsim::task_class::protocol,
+        stack_.sim().schedule_in(cfg_.timing.recovery_interval, netsim::task_class::protocol,
                                  [this] {
                                      recovery_scheduled_ = false;
                                      recovery_step();

@@ -10,6 +10,7 @@
 
 #include "daq/message.hpp"
 #include "mmtp/stack.hpp"
+#include "mmtp/timing_profile.hpp"
 
 #include <deque>
 #include <optional>
@@ -34,14 +35,40 @@ struct sender_config {
     /// Fraction of pace retained at maximum backpressure (level 255) —
     /// the multiplicative-decrease floor.
     double min_pace_fraction{0.1};
-    /// Quiet period: recovery begins this long after the last signal
-    /// (each new signal pushes it out again).
-    sim_duration backpressure_hold{sim_duration{10000000}}; // 10 ms
     /// Additive increase: fraction of the configured pace restored per
     /// recovery interval once the quiet period has lapsed.
     double recovery_step_fraction{0.15};
-    /// Spacing between additive recovery steps.
-    sim_duration recovery_interval{sim_duration{1000000}}; // 1 ms
+    /// Shared retry/backoff schedule. The sender uses `timing.hold` (the
+    /// quiet period before recovery begins; each new signal pushes it
+    /// out again) and `timing.recovery_interval`.
+    timing_profile timing{};
+
+    /// Deprecated aliases (one release): old field names for the knobs
+    /// that moved into `timing`.
+    sim_duration& backpressure_hold{timing.hold};
+    sim_duration& recovery_interval{timing.recovery_interval};
+
+    sender_config() = default;
+    sender_config(const sender_config& o)
+        : origin_mode(o.origin_mode), timestamp(o.timestamp),
+          max_datagram_payload(o.max_datagram_payload), pace(o.pace),
+          honor_backpressure(o.honor_backpressure),
+          min_pace_fraction(o.min_pace_fraction),
+          recovery_step_fraction(o.recovery_step_fraction), timing(o.timing)
+    {
+    }
+    sender_config& operator=(const sender_config& o)
+    {
+        origin_mode = o.origin_mode;
+        timestamp = o.timestamp;
+        max_datagram_payload = o.max_datagram_payload;
+        pace = o.pace;
+        honor_backpressure = o.honor_backpressure;
+        min_pace_fraction = o.min_pace_fraction;
+        recovery_step_fraction = o.recovery_step_fraction;
+        timing = o.timing; // aliases rebind nothing: they track our own timing
+        return *this;
+    }
 };
 
 struct sender_stats {
@@ -63,6 +90,8 @@ struct sender_stats {
     std::uint64_t suppressed_ns{0};
     std::uint64_t queued_peak{0};
     std::uint64_t reroutes{0};
+    /// Origin-mode changes applied by the control plane (reconfigs).
+    std::uint64_t origin_mode_updates{0};
 };
 
 class sender {
@@ -98,6 +127,16 @@ public:
     /// Only meaningful for IPv4 operation; ignored in L2 mode.
     void reroute(wire::ipv4_addr new_dst);
     std::uint16_t epoch() const { return epoch_; }
+
+    /// Control-plane reconfiguration callback: future datagrams are
+    /// emitted in `m` (feature bits *and* cfg_id — the policy epoch the
+    /// plan was installed under). Datagrams already queued keep the mode
+    /// they were stamped with, so they finish under the old epoch's
+    /// rules (make-before-break). Unlike reroute() this does not bump
+    /// the stream epoch: the sequence space is continuous across a mode
+    /// shift, which is what lets receivers see no gap.
+    void set_origin_mode(wire::mode m);
+    wire::mode origin_mode() const { return cfg_.origin_mode; }
 
     /// Interned flight-recorder site id for send records (0 = unnamed).
     void set_trace_site(std::uint32_t site) { trace_site_ = site; }

@@ -85,6 +85,7 @@ public:
     void add_stage(std::shared_ptr<pipeline_stage> stage);
 
     element_state& state() { return state_; }
+    const element_state& state() const { return state_; }
     const switch_stats& stats() const { return stats_; }
     const element_profile& profile() const { return profile_; }
 

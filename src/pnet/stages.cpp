@@ -4,6 +4,7 @@
 #include "common/trace.hpp"
 #include "netsim/link.hpp"
 
+#include <iterator>
 #include <limits>
 
 namespace mmtp::pnet {
@@ -28,6 +29,39 @@ netsim::packet make_control_packet(wire::ipv4_addr element_addr, wire::ipv4_addr
 
 mode_transition_stage::mode_transition_stage() = default;
 
+void mode_transition_stage::install_epoch(std::uint8_t epoch, std::vector<mode_rule> rules,
+                                          element_state* state)
+{
+    for (auto& r : rules) {
+        r.epoch = epoch;
+        r.match_any_epoch = false;
+    }
+    // New-epoch rules go in front: they win the first-match walk for
+    // datagrams stamped with the new epoch, and cannot shadow older
+    // epochs because the epoch match is exact.
+    rules_.insert(rules_.begin(), std::make_move_iterator(rules.begin()),
+                  std::make_move_iterator(rules.end()));
+    if (state != nullptr) state->bump("mode_shifts");
+}
+
+std::size_t mode_transition_stage::retire_epoch(std::uint8_t epoch, element_state* state)
+{
+    const auto before = rules_.size();
+    std::erase_if(rules_, [epoch](const mode_rule& r) {
+        return !r.match_any_epoch && r.epoch == epoch;
+    });
+    const auto removed = before - rules_.size();
+    if (removed > 0 && state != nullptr) state->bump("epochs_retired");
+    return removed;
+}
+
+bool mode_transition_stage::has_epoch(std::uint8_t epoch) const
+{
+    for (const auto& r : rules_)
+        if (!r.match_any_epoch && r.epoch == epoch) return true;
+    return false;
+}
+
 void mode_transition_stage::process(packet_context& ctx, element_state& state)
 {
     if (!ctx.mmtp || ctx.mmtp->m.has(wire::feature::control)) return;
@@ -37,6 +71,7 @@ void mode_transition_stage::process(packet_context& ctx, element_state& state)
         if (!rule.match_any_experiment
             && wire::experiment_of(h.experiment) != rule.experiment)
             continue;
+        if (!rule.match_any_epoch && h.m.cfg_id != rule.epoch) continue;
         if ((h.m.cfg_data & rule.require_bits) != rule.require_bits) continue;
 
         const auto before = h.m.cfg_data;

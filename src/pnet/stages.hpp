@@ -31,12 +31,21 @@ netsim::packet make_control_packet(wire::ipv4_addr element_addr, wire::ipv4_addr
 // ---------------------------------------------------------------------------
 
 /// One mode-transition rule. A packet matches when its experiment number
-/// equals `experiment` (or `match_any_experiment`) and all bits of
-/// `require_bits` are present in its current cfg_data.
+/// equals `experiment` (or `match_any_experiment`), its stamped policy
+/// epoch (header cfg_id) equals `epoch` (or `match_any_epoch`), and all
+/// bits of `require_bits` are present in its current cfg_data.
 struct mode_rule {
     std::uint32_t experiment{0};
     bool match_any_experiment{false};
     std::uint32_t require_bits{0};
+
+    /// Policy epoch this rule belongs to. Setup-time static rules keep
+    /// `match_any_epoch` (the pre-reconfiguration behaviour); rules
+    /// installed through `install_epoch()` match exactly, so in-flight
+    /// datagrams stamped under an older epoch keep hitting the older
+    /// epoch's rules until that epoch is retired (make-before-break).
+    std::uint8_t epoch{0};
+    bool match_any_epoch{true};
 
     /// Feature bits to activate / deactivate.
     std::uint32_t set_bits{0};
@@ -59,6 +68,23 @@ public:
 
     mode_transition_stage();
     void add_rule(mode_rule rule) { rules_.push_back(rule); }
+
+    /// Installs a new epoch's rule set (make phase of make-before-break).
+    /// Each rule is forced to match exactly `epoch`; the new rules are
+    /// placed ahead of existing ones so they win the first-match walk for
+    /// datagrams stamped with the new epoch, while older epochs keep
+    /// matching their own rules. Bumps the per-element `mode_shifts`
+    /// counter when `state` is given.
+    void install_epoch(std::uint8_t epoch, std::vector<mode_rule> rules,
+                       element_state* state = nullptr);
+
+    /// Retires every rule of `epoch` (break phase, after the drain
+    /// window). Returns the number of rules removed and bumps the
+    /// per-element `epochs_retired` counter when any were.
+    std::size_t retire_epoch(std::uint8_t epoch, element_state* state = nullptr);
+
+    std::size_t rule_count() const { return rules_.size(); }
+    bool has_epoch(std::uint8_t epoch) const;
 
     void process(packet_context& ctx, element_state& state) override;
     std::string name() const override { return "mode_transition"; }

@@ -226,11 +226,10 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     return tb;
 }
 
-chaos_result run_chaos_drill(const chaos_config& cfg)
+chaos_result summarize_chaos(chaos_testbed& tbr)
 {
-    auto tb = make_chaos(cfg);
-    tb->net.sim().run();
-
+    auto* tb = &tbr;
+    const auto& cfg = tb->cfg;
     chaos_result r;
     r.rx = tb->rx->stats();
     r.buf1 = tb->buf1_svc->stats();
@@ -303,6 +302,13 @@ chaos_result run_chaos_drill(const chaos_config& cfg)
         }
     }
     return r;
+}
+
+chaos_result run_chaos_drill(const chaos_config& cfg)
+{
+    auto tb = make_chaos(cfg);
+    tb->net.sim().run();
+    return summarize_chaos(*tb);
 }
 
 } // namespace mmtp::scenario

@@ -173,6 +173,9 @@ struct chaos_result {
     std::string metrics_csv;
 };
 
+/// Summarizes an already-run testbed (drivers separate build/run/report).
+chaos_result summarize_chaos(chaos_testbed& tb);
+
 /// Builds, runs to completion, and summarizes one chaos drill.
 chaos_result run_chaos_drill(const chaos_config& cfg);
 

@@ -1,0 +1,183 @@
+// driver.hpp — the common scenario-driver interface.
+//
+// Every scenario in this directory follows the same life cycle: build a
+// testbed (topology + control plane + scripted traffic), drain the
+// simulation engine, then report deterministic telemetry. Before this
+// interface each example re-implemented that skeleton; `driver` names
+// it once:
+//
+//   describe()   one-line banner for logs and example output
+//   build()      constructs the testbed and scripts its events; returns
+//                the engine run() will drain. (Scenarios own their
+//                network — and therefore their engine — so build
+//                *produces* the engine rather than receiving one.)
+//   run()        builds on first call, then drains the engine
+//   report(reg)  registers the scenario's standard probes into `reg`
+//                and returns the headline table (requires run())
+//
+// run_example() is the shared example main(): banner, run, report,
+// metrics snapshot, and an optional same-seed rerun that checks the
+// telemetry bytes are identical.
+#pragma once
+
+#include "scenario/chaos.hpp"
+#include "scenario/overload.hpp"
+#include "scenario/pilot.hpp"
+#include "scenario/shapeshift.hpp"
+#include "scenario/today.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace mmtp::scenario {
+
+class driver {
+public:
+    virtual ~driver() = default;
+
+    /// One-line human description of the scenario.
+    virtual std::string describe() const = 0;
+
+    /// Constructs the testbed and scripts its traffic/faults; returns
+    /// the engine that run() drains. Idempotence is the caller's job —
+    /// use prepare()/run() unless you need the engine directly.
+    virtual netsim::engine& build() = 0;
+
+    /// Builds exactly once (so a testbed can be customised before run).
+    void prepare()
+    {
+        if (eng_ == nullptr) eng_ = &build();
+    }
+
+    /// Runs the scenario to completion (builds first if needed).
+    void run()
+    {
+        prepare();
+        eng_->run();
+    }
+
+    bool built() const { return eng_ != nullptr; }
+
+    /// Registers the scenario's standard probes into `reg` and returns
+    /// the headline report table. Requires run().
+    virtual telemetry::table report(telemetry::metrics_registry& reg) = 0;
+
+protected:
+    netsim::engine* eng_{nullptr};
+};
+
+/// Shared example skeleton: prints describe(), runs, prints the report
+/// table and the metrics snapshot. When `rerun` names a second, freshly
+/// constructed driver of the same configuration, it is run too and the
+/// telemetry bytes compared — the determinism check every drill example
+/// used to hand-roll. Returns 0 on success (and byte-identical reruns).
+int run_example(driver& d, driver* rerun = nullptr);
+
+// --- concrete drivers ----------------------------------------------------
+
+/// The §5.4 pilot: ICEBERG trigger records through the Fig. 4 testbed.
+class pilot_driver : public driver {
+public:
+    struct options {
+        pilot_config pilot{};
+        std::uint64_t records{1000};
+        std::uint32_t frames_per_record{10};
+    };
+    pilot_driver();
+    explicit pilot_driver(options opt);
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    pilot_testbed& testbed() { return *tb_; }
+
+private:
+    options opt_;
+    std::unique_ptr<pilot_testbed> tb_;
+    std::uint64_t records_driven_{0};
+};
+
+/// The status-quo pipeline of Fig. 2 (UDP ingest stage).
+class today_driver : public driver {
+public:
+    struct options {
+        today_config today{};
+        std::uint32_t message_bytes{5000};
+        std::uint64_t messages{200};
+        sim_duration message_interval{sim_duration{10000}}; // 10 us
+    };
+    today_driver();
+    explicit today_driver(options opt);
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    today_testbed& testbed() { return *tb_; }
+
+private:
+    options opt_;
+    std::unique_ptr<today_testbed> tb_;
+    std::uint64_t bytes_scheduled_{0};
+};
+
+/// Coordinated WAN + buffer failure mid-transfer (chaos drill).
+class chaos_driver : public driver {
+public:
+    explicit chaos_driver(chaos_config cfg = {}) : cfg_(cfg) {}
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    chaos_testbed& testbed() { return *tb_; }
+    /// Summarized once after run(); report() fills it.
+    const chaos_result& result();
+
+private:
+    chaos_config cfg_;
+    std::unique_ptr<chaos_testbed> tb_;
+    std::optional<chaos_result> result_;
+};
+
+/// 2× sustained offered load with every overload-control layer engaged.
+class overload_driver : public driver {
+public:
+    explicit overload_driver(overload_config cfg = {}) : cfg_(cfg) {}
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    overload_testbed& testbed() { return *tb_; }
+    const overload_result& result();
+
+private:
+    overload_config cfg_;
+    std::unique_ptr<overload_testbed> tb_;
+    std::optional<overload_result> result_;
+};
+
+/// Mid-run WAN degradation answered by a runtime mode shift.
+class shapeshift_driver : public driver {
+public:
+    explicit shapeshift_driver(shapeshift_config cfg = {}) : cfg_(cfg) {}
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    shapeshift_testbed& testbed() { return *tb_; }
+    const shapeshift_result& result();
+
+private:
+    shapeshift_config cfg_;
+    std::unique_ptr<shapeshift_testbed> tb_;
+    std::optional<shapeshift_result> result_;
+};
+
+} // namespace mmtp::scenario

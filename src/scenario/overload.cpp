@@ -246,11 +246,9 @@ std::unique_ptr<overload_testbed> make_overload(const overload_config& cfg)
     return tb;
 }
 
-overload_result run_overload_drill(const overload_config& cfg)
+overload_result summarize_overload(overload_testbed& tbr)
 {
-    auto tb = make_overload(cfg);
-    tb->net.sim().run();
-
+    auto* tb = &tbr;
     overload_result r;
     r.tx = tb->tx->stats();
     r.rx = tb->rx->stats();
@@ -327,7 +325,7 @@ overload_result run_overload_drill(const overload_config& cfg)
     row("second_flow_admitted", r.second_flow_admitted ? 1 : 0);
     row("second_flow_admitted_at_ns",
         static_cast<std::uint64_t>(r.second_flow_admitted_at.ns));
-    row("planner_denied_pressure", r.planner.admissions_denied_pressure);
+    row("planner_admissions_denied_pressure", r.planner.admissions_denied_pressure);
     row("recovered", r.recovered ? 1 : 0);
     row("time_to_recover_ns",
         static_cast<std::uint64_t>(r.recovered ? r.time_to_recover.ns : 0));
@@ -361,6 +359,13 @@ overload_result run_overload_drill(const overload_config& cfg)
             r.hop_timeline = tr.format_timeline(tr.message_timeline(r.traced_sequence));
     }
     return r;
+}
+
+overload_result run_overload_drill(const overload_config& cfg)
+{
+    auto tb = make_overload(cfg);
+    tb->net.sim().run();
+    return summarize_overload(*tb);
 }
 
 } // namespace mmtp::scenario

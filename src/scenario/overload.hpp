@@ -221,6 +221,9 @@ struct overload_result {
     std::string hop_timeline;
 };
 
+/// Summarizes an already-run testbed (drivers separate build/run/report).
+overload_result summarize_overload(overload_testbed& tb);
+
 /// Builds, runs to completion, and summarizes one overload drill.
 overload_result run_overload_drill(const overload_config& cfg);
 

@@ -87,20 +87,9 @@ std::unique_ptr<pilot_testbed> make_pilot(const pilot_config& cfg)
     };
     pin.recovery_buffer = tb->dtn1->address();
     pin.notify_addr = cfg.notifications ? tb->dtn1->address() : 0;
-    tb->policy = control::compile_modes(pin, rmap);
-    if (cfg.deadline_us != 0) {
-        tb->policy.deadline_us = cfg.deadline_us;
-        for (auto& t : tb->policy.transitions) {
-            if (t.rule.deadline_us) t.rule.deadline_us = cfg.deadline_us;
-        }
-    }
 
     // --- in-network programs ---
     tb->mode_stage = std::make_shared<pnet::mode_transition_stage>();
-    for (const auto& t : tb->policy.transitions) {
-        if (t.element == tb->tofino2->address() && !cfg.sequence_at_dtn)
-            tb->mode_stage->add_rule(t.rule);
-    }
     pnet::age_config age_cfg;
     age_cfg.emit_notifications = cfg.notifications;
     tb->tofino_age = std::make_shared<pnet::age_update_stage>(age_cfg);
@@ -108,20 +97,30 @@ std::unique_ptr<pilot_testbed> make_pilot(const pilot_config& cfg)
     tb->duplication = std::make_shared<pnet::duplication_stage>();
 
     tb->dup_mode_stage = std::make_shared<pnet::mode_transition_stage>();
+    // Campus-boundary table (strip recovery, keep timeliness) runs on
+    // the Alveo in front of DTN2.
+    tb->campus_stage = std::make_shared<pnet::mode_transition_stage>();
 
     tb->tofino2->add_stage(tb->mode_stage);
     tb->tofino2->add_stage(tb->tofino_age);
     tb->tofino2->add_stage(tb->dup_mode_stage);
     tb->tofino2->add_stage(tb->duplication);
     tb->alveo_rx->add_stage(tb->alveo_age);
+    tb->alveo_rx->add_stage(tb->campus_stage);
 
-    // Campus-boundary rule (strip recovery, keep timeliness) runs on the
-    // Alveo in front of DTN2.
-    auto campus_stage = std::make_shared<pnet::mode_transition_stage>();
-    for (const auto& t : tb->policy.transitions) {
-        if (t.element == tb->alveo_rx->address()) campus_stage->add_rule(t.rule);
-    }
-    tb->alveo_rx->add_stage(campus_stage);
+    // The pilot's one-shot setup is the policy engine's static preset:
+    // compile once, install the rules on the attached boundary elements,
+    // never reconfigure (§5.3 "pre-supposes knowledge of the network").
+    control::policy_engine_config pe_cfg;
+    pe_cfg.preset = control::mode_preset::static_preset;
+    pe_cfg.inputs = pin;
+    pe_cfg.deadline_override_us = cfg.deadline_us;
+    tb->policy_ctl = std::make_unique<control::policy_engine>(net.sim(), rmap, pe_cfg);
+    if (!cfg.sequence_at_dtn)
+        tb->policy_ctl->attach_element(*tb->tofino2, tb->mode_stage);
+    tb->policy_ctl->attach_element(*tb->alveo_rx, tb->campus_stage);
+    tb->policy_ctl->start();
+    tb->policy = tb->policy_ctl->current();
 
     // --- endpoints ---
     tb->sensor_stack = std::make_unique<core::stack>(*static_cast<netsim::host*>(tb->sensor),

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "control/policy.hpp"
+#include "control/policy_engine.hpp"
 #include "mmtp/buffer_service.hpp"
 #include "mmtp/receiver.hpp"
 #include "mmtp/sender.hpp"
@@ -72,10 +73,17 @@ struct pilot_testbed {
     /// Extra mode table evaluated just before duplication — rules here
     /// can activate the duplication bit for selected experiments.
     std::shared_ptr<pnet::mode_transition_stage> dup_mode_stage;
+    /// Campus-boundary mode table on the Alveo in front of DTN2.
+    std::shared_ptr<pnet::mode_transition_stage> campus_stage;
     std::shared_ptr<pnet::age_update_stage> tofino_age;
     std::shared_ptr<pnet::age_update_stage> alveo_age;
     std::shared_ptr<pnet::duplication_stage> duplication;
 
+    /// The control plane: a policy engine running the static preset —
+    /// the pilot is one preset of the runtime mode-shifting machinery,
+    /// not a separate code path.
+    std::unique_ptr<control::policy_engine> policy_ctl;
+    /// The plan the engine compiled and installed (policy_ctl->current()).
     control::compiled_policy policy;
 
     /// Deadline notifications received back at DTN1.

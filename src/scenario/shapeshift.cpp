@@ -1,0 +1,229 @@
+#include "scenario/shapeshift.hpp"
+
+#include "daq/message.hpp"
+
+namespace mmtp::scenario {
+
+namespace {
+/// The drill's one stream: the ICEBERG experiment, slice 0.
+constexpr wire::experiment_id drill_stream =
+    wire::make_experiment_id(wire::experiments::iceberg, 0);
+} // namespace
+
+std::unique_ptr<shapeshift_testbed> make_shapeshift(const shapeshift_config& cfg)
+{
+    auto tb = std::make_unique<shapeshift_testbed>();
+    tb->cfg = cfg;
+    tb->net = netsim::network(cfg.seed);
+    auto& net = tb->net;
+    auto& eng = net.sim();
+
+    // --- topology ---
+    tb->sensor = &net.add_host("sensor");
+    tb->dtn1 = &net.add_host("dtn1");
+    tb->tofino =
+        &net.emplace<pnet::programmable_switch>("tofino", pnet::tofino2_profile());
+    tb->rx_host = &net.add_host("rx");
+    tb->tofino->set_id_source(&net.ids());
+
+    netsim::link_config clean;
+    clean.rate = data_rate::from_gbps(100);
+    clean.propagation = sim_duration{1000};
+
+    netsim::link_config wan;
+    wan.rate = cfg.wan_rate;
+    wan.propagation = cfg.wan_delay;
+    wan.queue_capacity_bytes = cfg.wan_queue_bytes;
+
+    net.connect(*tb->sensor, *tb->dtn1, clean);
+    net.connect(*tb->dtn1, *tb->tofino, clean);
+    const unsigned wan_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
+    netsim::link_config wan_back = clean;
+    wan_back.propagation = cfg.wan_delay;
+    net.connect_simplex(*tb->rx_host, *tb->tofino, wan_back); // NAK return path
+    tb->wan = &tb->tofino->egress(wan_port);
+
+    net.compute_routes();
+
+    // --- observability ---
+    if (cfg.trace) {
+        tb->tracer = std::make_unique<trace::flight_recorder>(cfg.trace_capacity);
+        tb->tracer_install = std::make_unique<trace::scoped_recorder>(*tb->tracer);
+        tb->wan->set_trace_site(tb->tracer->site("wan"));
+        tb->tofino->state().trace_site = tb->tracer->site("tofino");
+    }
+
+    // --- in-network program ---
+    tb->mode_stage = std::make_shared<pnet::mode_transition_stage>();
+    tb->tofino->add_stage(tb->mode_stage);
+    tb->tofino->add_stage(std::make_shared<pnet::age_update_stage>());
+
+    // --- closed-loop control plane ---
+    control::resource_map rmap;
+    rmap.add({control::resource_kind::retransmission_buffer, tb->dtn1->address(),
+              "dtn1-buffer", 512ull * 1024 * 1024, sim_duration{5000000000}, "daq-site"});
+    rmap.add({control::resource_kind::programmable_switch, tb->tofino->address(),
+              "tofino", 0, sim_duration::zero(), "daq-site"});
+
+    control::policy_inputs pin;
+    pin.experiment = wire::experiments::iceberg;
+    pin.segments = {
+        {control::path_segment::kind::daq, sim_duration{1000}, data_rate::from_gbps(100),
+         false, 0},
+        {control::path_segment::kind::wan, cfg.wan_delay, cfg.wan_rate, true,
+         tb->tofino->address()},
+    };
+    pin.recovery_buffer = tb->dtn1->address();
+
+    control::policy_engine_config pe_cfg;
+    pe_cfg.preset = control::mode_preset::closed_loop;
+    pe_cfg.inputs = pin;
+    pe_cfg.deadline_override_us = cfg.deadline_us;
+    pe_cfg.poll_interval = cfg.poll_interval;
+    pe_cfg.poll_until = cfg.poll_until;
+    pe_cfg.drain_window = cfg.drain_window;
+    pe_cfg.loss_degrade_threshold = cfg.loss_degrade_threshold;
+    pe_cfg.restore_after_clean_polls = cfg.restore_after_clean_polls;
+    tb->policy_ctl = std::make_unique<control::policy_engine>(eng, rmap, pe_cfg);
+    tb->policy_ctl->attach_element(*tb->tofino, tb->mode_stage);
+    tb->policy_ctl->watch_loss(*tb->wan);
+    if (tb->tracer) tb->policy_ctl->set_trace_site(tb->tracer->site("ctl"));
+    tb->policy_ctl->start(); // epoch 0: the baseline plan goes live
+    const auto& plan = tb->policy_ctl->current();
+
+    // --- endpoints ---
+    tb->sensor_stack = std::make_unique<core::stack>(*tb->sensor, net.ids());
+    core::sender_config s_cfg;
+    s_cfg.origin_mode = plan.origin_mode; // mode 0, epoch 0
+    s_cfg.max_datagram_payload = cfg.message_bytes;
+    tb->tx = std::make_unique<core::sender>(*tb->sensor_stack, tb->dtn1->address(), s_cfg);
+
+    tb->dtn1_stack = std::make_unique<core::stack>(*tb->dtn1, net.ids());
+    core::buffer_service_config b_cfg;
+    b_cfg.next_hop = tb->rx_host->address();
+    b_cfg.deadline_us = plan.deadline_us;
+    tb->dtn1_svc = std::make_unique<core::buffer_service>(*tb->dtn1_stack, b_cfg);
+    tb->dtn1_svc->attach_as_sink();
+
+    tb->rx_stack = std::make_unique<core::stack>(*tb->rx_host, net.ids());
+    core::receiver_config r_cfg;
+    r_cfg.timing.retry_base = plan.suggested_nak_retry;
+    tb->rx = std::make_unique<core::receiver>(*tb->rx_stack, r_cfg);
+    tb->rx->set_on_datagram([tbp = tb.get()](const core::delivered_datagram& d) {
+        tbp->delivered_by_epoch[d.hdr.m.cfg_id]++;
+    });
+
+    // From now on, every install re-stamps the sender's origin mode with
+    // the new epoch — new datagrams shift, in-flight ones finish under
+    // the old epoch's rules (make before break).
+    tb->policy_ctl->set_origin_handler(
+        [tbp = tb.get()](const control::compiled_policy&, wire::mode origin) {
+            tbp->tx->set_origin_mode(origin);
+        });
+
+    // --- the mid-run degradation ---
+    tb->faults = std::make_unique<netsim::fault_scheduler>(eng);
+    tb->faults->corruption_burst(*tb->wan, cfg.burst_at, cfg.burst_duration,
+                                 cfg.burst_ber);
+
+    // --- metrics registry ---
+    telemetry::register_engine_metrics(tb->metrics, eng);
+    telemetry::register_link_metrics(tb->metrics, "wan", *tb->wan);
+    telemetry::register_policy_engine_metrics(tb->metrics, *tb->policy_ctl);
+    telemetry::register_element_metrics(tb->metrics, "tofino", *tb->tofino);
+    telemetry::register_stack_metrics(tb->metrics, "sensor", *tb->sensor_stack);
+    telemetry::register_stack_metrics(tb->metrics, "rx", *tb->rx_stack);
+    telemetry::register_sender_metrics(tb->metrics, "sensor", *tb->tx);
+    telemetry::register_receiver_metrics(tb->metrics, "rx", *tb->rx);
+    telemetry::register_buffer_metrics(tb->metrics, "dtn1", *tb->dtn1_svc);
+
+    // --- traffic and end-of-window flush ---
+    daq::steady_source source(drill_stream, cfg.message_bytes, cfg.message_interval,
+                              cfg.first_message, cfg.messages);
+    tb->messages_scheduled = tb->tx->drive(source);
+    eng.schedule_at(cfg.flush_at, [tbp = tb.get()] { tbp->dtn1_svc->flush(); });
+
+    return tb;
+}
+
+shapeshift_result summarize_shapeshift(shapeshift_testbed& tbr)
+{
+    auto* tb = &tbr;
+    shapeshift_result r;
+    r.tx = tb->tx->stats();
+    r.rx = tb->rx->stats();
+    r.buf = tb->dtn1_svc->stats();
+    r.wan = tb->wan->stats();
+    r.ctl = tb->policy_ctl->stats();
+    r.messages_sent = tb->messages_scheduled;
+    r.delivered = r.rx.datagrams;
+    r.all_delivered = r.delivered == r.messages_sent && r.rx.given_up == 0
+        && tb->rx->outstanding_gaps() == 0;
+    const auto& st = tb->tofino->state();
+    r.mode_shifts = st.counter("mode_shifts");
+    r.epochs_retired = st.counter("epochs_retired");
+    r.final_epoch = tb->policy_ctl->epoch();
+    r.final_posture = control::posture_name(tb->policy_ctl->current_posture());
+    r.rx_mode_shifts_seen = r.rx.mode_shifts_seen;
+    r.rx_last_epoch = tb->rx->last_policy_epoch(drill_stream);
+    r.delivered_by_epoch = tb->delivered_by_epoch;
+
+    auto& t = r.report;
+    t.set_columns({"metric", "value"});
+    auto row = [&](const std::string& name, std::uint64_t v) {
+        t.add_row({name, telemetry::fmt_count(v)});
+    };
+    row("messages_sent", r.messages_sent);
+    row("delivered", r.delivered);
+    row("all_delivered", r.all_delivered ? 1 : 0);
+    row("duplicates", r.rx.duplicates);
+    row("recovered_datagrams", r.rx.recovered);
+    row("naks_sent", r.rx.naks_sent);
+    row("given_up", r.rx.given_up);
+    row("aged_on_arrival", r.rx.aged_on_arrival);
+    row("wan_corrupted", r.wan.corrupted);
+    row("reconfigs_planned", r.ctl.reconfigs_planned);
+    row("reconfigs_installed", r.ctl.reconfigs_installed);
+    row("reconfigs_committed", r.ctl.reconfigs_committed);
+    row("reconfigs_aborted", r.ctl.reconfigs_aborted);
+    row("loss_triggers", r.ctl.loss_triggers);
+    row("restores", r.ctl.restores);
+    row("polls", r.ctl.polls);
+    row("element_mode_shifts", r.mode_shifts);
+    row("element_epochs_retired", r.epochs_retired);
+    row("final_epoch", r.final_epoch);
+    t.add_row({"final_posture", r.final_posture});
+    row("sender_origin_mode_updates", r.tx.origin_mode_updates);
+    row("rx_mode_shifts_seen", r.rx_mode_shifts_seen);
+    row("rx_last_epoch", r.rx_last_epoch);
+    for (const auto& [epoch, count] : r.delivered_by_epoch)
+        row("delivered_epoch_" + std::to_string(unsigned(epoch)), count);
+    r.csv = t.csv();
+
+    r.metrics_csv = tb->metrics.to_csv();
+
+    // The reconfiguration story, span by span.
+    if (tb->tracer) {
+        std::vector<trace::record> spans;
+        for (const auto& ev : tb->tracer->events()) {
+            switch (ev.kind) {
+            case trace::hop::ctl_reconfig_planned:
+            case trace::hop::ctl_reconfig_installed:
+            case trace::hop::ctl_reconfig_committed:
+            case trace::hop::ctl_reconfig_aborted: spans.push_back(ev); break;
+            default: break;
+            }
+        }
+        r.reconfig_timeline = tb->tracer->format_timeline(spans);
+    }
+    return r;
+}
+
+shapeshift_result run_shapeshift_drill(const shapeshift_config& cfg)
+{
+    auto tb = make_shapeshift(cfg);
+    tb->net.sim().run();
+    return summarize_shapeshift(*tb);
+}
+
+} // namespace mmtp::scenario

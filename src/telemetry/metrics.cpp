@@ -2,6 +2,7 @@
 
 #include "control/health_monitor.hpp"
 #include "control/planner.hpp"
+#include "control/policy_engine.hpp"
 #include "mmtp/buffer_service.hpp"
 #include "mmtp/receiver.hpp"
 #include "mmtp/sender.hpp"
@@ -145,9 +146,11 @@ void register_planner_metrics(metrics_registry& reg, const control::capacity_pla
                   [pl] { return pl->stats().flows_rerouted; });
     reg.add_probe("planner_flows_stranded", {},
                   [pl] { return pl->stats().flows_stranded; });
-    reg.add_probe("planner_denied_pressure", {},
+    // Metric names mirror the stats-struct fields (subsystem prefix +
+    // field), the convention every other adapter follows.
+    reg.add_probe("planner_admissions_denied_pressure", {},
                   [pl] { return pl->stats().admissions_denied_pressure; });
-    reg.add_probe("planner_deferred", {},
+    reg.add_probe("planner_admissions_deferred", {},
                   [pl] { return pl->stats().admissions_deferred; });
     reg.add_probe("planner_deferred_admitted", {},
                   [pl] { return pl->stats().deferred_admitted; });
@@ -165,6 +168,62 @@ void register_health_metrics(metrics_registry& reg, const control::health_monito
     reg.add_probe("health_links_watched", {}, [h] { return h->stats().links_watched; });
     reg.add_probe("health_downs_observed", {}, [h] { return h->stats().downs_observed; });
     reg.add_probe("health_ups_observed", {}, [h] { return h->stats().ups_observed; });
+}
+
+void register_policy_engine_metrics(metrics_registry& reg,
+                                    const control::policy_engine& pe)
+{
+    const control::policy_engine* p = &pe;
+    reg.add_probe("policy_reconfigs", {{"phase", "planned"}},
+                  [p] { return p->stats().reconfigs_planned; });
+    reg.add_probe("policy_reconfigs", {{"phase", "installed"}},
+                  [p] { return p->stats().reconfigs_installed; });
+    reg.add_probe("policy_reconfigs", {{"phase", "committed"}},
+                  [p] { return p->stats().reconfigs_committed; });
+    reg.add_probe("policy_reconfigs", {{"phase", "aborted"}},
+                  [p] { return p->stats().reconfigs_aborted; });
+    reg.add_probe("policy_polls", {}, [p] { return p->stats().polls; });
+    reg.add_probe("policy_triggers", {{"signal", "loss"}},
+                  [p] { return p->stats().loss_triggers; });
+    reg.add_probe("policy_triggers", {{"signal", "backpressure"}},
+                  [p] { return p->stats().backpressure_triggers; });
+    reg.add_probe("policy_triggers", {{"signal", "occupancy"}},
+                  [p] { return p->stats().occupancy_triggers; });
+    reg.add_probe("policy_triggers", {{"signal", "health"}},
+                  [p] { return p->stats().health_triggers; });
+    reg.add_probe("policy_restores", {}, [p] { return p->stats().restores; });
+    reg.add_probe("policy_epoch", {}, [p] { return p->epoch(); });
+    reg.add_probe("policy_posture", {},
+                  [p] { return static_cast<std::uint64_t>(p->current_posture()); });
+    reg.add_probe("policy_pending_commits", {}, [p] { return p->pending_commits(); });
+}
+
+void register_element_metrics(metrics_registry& reg, const std::string& element_name,
+                              const pnet::programmable_switch& sw)
+{
+    const pnet::programmable_switch* s = &sw;
+    const metric_labels base{{"element", element_name}};
+    reg.add_probe("element_forwarded", base, [s] { return s->stats().forwarded; });
+    reg.add_probe("element_clones", base, [s] { return s->stats().clones; });
+    reg.add_probe("element_emissions", base, [s] { return s->stats().emissions; });
+    reg.add_probe("element_dropped", {{"element", element_name}, {"reason", "corrupted"}},
+                  [s] { return s->stats().dropped_corrupted; });
+    reg.add_probe("element_dropped", {{"element", element_name}, {"reason", "malformed"}},
+                  [s] { return s->stats().dropped_malformed; });
+    reg.add_probe("element_dropped", {{"element", element_name}, {"reason", "pipeline"}},
+                  [s] { return s->stats().dropped_by_pipeline; });
+    reg.add_probe("element_dropped", {{"element", element_name}, {"reason", "unroutable"}},
+                  [s] { return s->stats().dropped_unroutable; });
+    // Named pipeline counters (P4-style): exported under one canonical
+    // key family instead of each scenario inventing its own row names.
+    for (const char* ctr :
+         {"mode_transitions", "mode_shifts", "epochs_retired", "backpressure_engagements",
+          "backpressure_signals", "backpressure_suppressed", "backpressure_escalations",
+          "aged_packets", "aged_drops", "deadline_notifications", "duplicated",
+          "subscriptions"}) {
+        reg.add_probe(std::string("element_") + ctr, base,
+                      [s, ctr] { return s->state().counter(ctr); });
+    }
 }
 
 void register_stack_metrics(metrics_registry& reg, const std::string& host,
@@ -201,6 +260,8 @@ void register_sender_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("sender_effective_pace_bps", base,
                   [sp] { return sp->effective_pace().bits_per_sec; });
     reg.add_probe("sender_reroutes", base, [sp] { return sp->stats().reroutes; });
+    reg.add_probe("sender_origin_mode_updates", base,
+                  [sp] { return sp->stats().origin_mode_updates; });
 }
 
 void register_receiver_metrics(metrics_registry& reg, const std::string& host,
@@ -217,6 +278,8 @@ void register_receiver_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("receiver_buffer_failovers", base,
                   [rp] { return rp->stats().buffer_failovers; });
     reg.add_probe("receiver_given_up", base, [rp] { return rp->stats().given_up; });
+    reg.add_probe("receiver_mode_shifts_seen", base,
+                  [rp] { return rp->stats().mode_shifts_seen; });
 }
 
 void register_buffer_metrics(metrics_registry& reg, const std::string& host,

@@ -27,7 +27,11 @@ class priority_queue_disc;
 namespace mmtp::control {
 class capacity_planner;
 class health_monitor;
+class policy_engine;
 } // namespace mmtp::control
+namespace mmtp::pnet {
+class programmable_switch;
+} // namespace mmtp::pnet
 namespace mmtp::core {
 class buffer_service;
 class receiver;
@@ -123,6 +127,17 @@ void register_planner_metrics(metrics_registry& reg, const control::capacity_pla
 
 /// health_downs/ups observed.
 void register_health_metrics(metrics_registry& reg, const control::health_monitor& hm);
+
+/// policy_reconfigs{phase=planned|installed|committed|aborted}, trigger
+/// counters, policy_epoch and policy_posture gauges for one engine.
+void register_policy_engine_metrics(metrics_registry& reg,
+                                    const control::policy_engine& pe);
+
+/// element_forwarded/dropped/clones/emissions plus the element's named
+/// pipeline counters (mode_transitions, mode_shifts, epochs_retired,
+/// backpressure_*) under canonical `element_*{element=...}` keys.
+void register_element_metrics(metrics_registry& reg, const std::string& element_name,
+                              const pnet::programmable_switch& sw);
 
 /// stack_data_in/control_in/malformed/sent for one host's stack.
 void register_stack_metrics(metrics_registry& reg, const std::string& host,

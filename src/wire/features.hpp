@@ -44,8 +44,12 @@ constexpr std::uint32_t feature_bit(feature f) { return static_cast<std::uint32_
 constexpr std::uint32_t known_feature_mask = 0x1ffu;
 
 /// A transport mode: configuration identifier + activated feature bits.
-/// cfg_id versions the *interpretation* of cfg_data; this library
-/// implements cfg_id 0 (the layout documented above).
+/// cfg_id is the control plane's *policy epoch*: each installed
+/// configuration is stamped with the epoch it was compiled under, and
+/// in-network rules can match on it so in-flight datagrams finish under
+/// the rules of the epoch they were sent in (make-before-break
+/// reconfiguration).  Every epoch uses the cfg-0 field layout documented
+/// above; the epoch versions *which rules apply*, not the wire format.
 struct mode {
     std::uint8_t cfg_id{0};
     std::uint32_t cfg_data{0}; // 24 bits significant

@@ -104,7 +104,9 @@ std::optional<header> parse(std::span<const std::uint8_t> data)
     h.m.cfg_data = r.u24();
     h.experiment = r.u32();
     if (r.failed()) return std::nullopt;
-    if (h.m.cfg_id != 0) return std::nullopt; // only cfg_id 0 is defined
+    // cfg_id carries the control plane's policy epoch; every epoch uses the
+    // cfg-0 field layout, so any value parses.  Unknown feature bits still
+    // make the extension region unparseable and must be rejected.
     if ((h.m.cfg_data & ~known_feature_mask) != 0) return std::nullopt;
 
     if (h.m.has(feature::sequencing)) {
@@ -182,7 +184,7 @@ std::optional<header> parse_core(std::span<const std::uint8_t> data)
     h.m.cfg_id = r.u8();
     h.m.cfg_data = r.u24();
     h.experiment = r.u32();
-    if (r.failed() || h.m.cfg_id != 0) return std::nullopt;
+    if (r.failed()) return std::nullopt;
     return h;
 }
 

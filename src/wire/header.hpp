@@ -3,7 +3,7 @@
 // Layout (big-endian):
 //
 //   core header, always present (8 bytes):
-//     u8  cfg_id          configuration identifier (versions cfg_data)
+//     u8  cfg_id          configuration identifier (the policy epoch)
 //     u24 cfg_data        feature bits for the current segment
 //     u32 experiment_id   experiment + instrument slice (Req 8)
 //
@@ -121,7 +121,9 @@ std::size_t header_size_for(const mode& m);
 bool serialize(const header& h, byte_writer& w);
 
 /// Parses a header from the front of `data`. Returns std::nullopt on
-/// truncation, unknown cfg_id, or reserved feature bits.
+/// truncation or reserved feature bits. Any cfg_id is accepted: it is
+/// the policy epoch the datagram was stamped under, and all epochs use
+/// the cfg-0 field layout.
 std::optional<header> parse(std::span<const std::uint8_t> data);
 
 /// Parses only the core header (cfg + experiment) without extensions —

@@ -98,14 +98,21 @@ TEST_P(header_roundtrip, truncation_always_rejected)
 INSTANTIATE_TEST_SUITE_P(all_feature_combinations, header_roundtrip,
                          ::testing::Range(0u, 512u));
 
-TEST(header, unknown_cfg_id_rejected)
+TEST(header, nonzero_cfg_id_is_policy_epoch)
 {
-    auto h = make_header(0);
+    // cfg_id carries the control plane's policy epoch; every epoch uses the
+    // cfg-0 layout, so any value must parse and round-trip unchanged.
+    auto h = make_header(0x17); // a few feature bits, to exercise extensions
     byte_writer w;
     ASSERT_TRUE(serialize(h, w));
     auto bytes = std::vector<std::uint8_t>(w.view().begin(), w.view().end());
-    bytes[0] = 1; // cfg_id 1 is not defined
-    EXPECT_FALSE(parse(bytes).has_value());
+    for (std::uint32_t epoch : {1u, 7u, 255u}) {
+        bytes[0] = static_cast<std::uint8_t>(epoch);
+        const auto parsed = parse(bytes);
+        ASSERT_TRUE(parsed.has_value()) << "epoch=" << epoch;
+        EXPECT_EQ(parsed->m.cfg_id, epoch);
+        EXPECT_EQ(parsed->m.cfg_data, h.m.cfg_data);
+    }
 }
 
 TEST(header, reserved_feature_bits_rejected)
