@@ -108,6 +108,17 @@ public:
         ops_ = nullptr;
     }
 
+    /// Destroys the target without invoking it, leaving *this empty.
+    /// No-op when already empty. Lets a scheduler drop a cancelled
+    /// closure's captures immediately instead of at slot reuse.
+    void reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
     /// True when a capture of type F would be stored without allocating.
     template <typename F>
     static constexpr bool stored_inline =

@@ -1,0 +1,206 @@
+// timing_wheel.hpp — hierarchical timing wheel for high-churn timers.
+//
+// A d-ary heap pays O(log n) per push/pop; at millions of pending timers
+// (sender pacing, receiver RTO/NAK backoff, drain windows, policy polls)
+// that log is the dominant scheduling cost. The classic answer (Varghese
+// & Lauck) is a hashed hierarchical wheel: four levels of 256 slots, each
+// level covering 256× the span of the one below, with per-level occupancy
+// bitmaps so advancing skips empty slots in O(1) instead of ticking
+// through them. Push is O(1); each timer cascades down at most
+// `levels - 1` times on its way to dispatch.
+//
+// Ordering contract: the wheel delivers keys in exactly (at, seq) order —
+// the same total order a stable min-heap would produce. Entries that land
+// in the same level-0 tick are sorted by (at, seq) when the tick is
+// reached, and a late push behind the prepared tick is inserted into its
+// sorted position, so callers (netsim::engine) can interleave wheel and
+// heap events without ever breaking the same-instant FIFO guarantee.
+//
+// Keys beyond the wheel horizon (2^(8·levels) ticks ≈ 73 minutes at the
+// default 1.024 µs resolution) are rejected at push; the caller keeps
+// those sparse far-future events in its heap.
+#pragma once
+
+#include "common/units.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace mmtp {
+
+/// Key must expose `sim_time at` and `std::uint64_t seq`.
+template <typename Key>
+class timing_wheel {
+public:
+    static constexpr unsigned slot_bits = 8;
+    static constexpr unsigned slots_per_level = 1u << slot_bits; // 256
+    static constexpr unsigned levels = 4;
+
+    /// Level-0 tick is 2^resolution_bits ns (default ~1 µs): fine enough
+    /// that protocol timers rarely share a tick, coarse enough that the
+    /// 73-minute horizon covers every recurring timer class.
+    explicit timing_wheel(unsigned resolution_bits = 10) : res_bits_(resolution_bits) {}
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Inserts `k`. Returns false when `k.at` lies beyond the wheel
+    /// horizon measured from the wheel's current position — the caller
+    /// must keep such keys elsewhere (netsim::engine uses its heap).
+    /// `now` re-anchors a drained wheel, so long wheel-idle stretches
+    /// never shrink the usable horizon.
+    bool push(const Key& k, sim_time now)
+    {
+        if (size_ == 0) {
+            const std::uint64_t now_tick = tick_of(now);
+            if (now_tick > current_tick_) current_tick_ = now_tick;
+            due_.clear();
+            due_idx_ = 0;
+        }
+        if (!place(k)) return false;
+        size_++;
+        return true;
+    }
+
+    /// The key pop() would return next; nullptr when empty. May advance
+    /// the wheel position and cascade slots (amortized O(1) per entry).
+    const Key* peek()
+    {
+        if (size_ == 0) return nullptr;
+        while (due_idx_ == due_.size()) refill();
+        return &due_[due_idx_];
+    }
+
+    /// Removes and returns the next key. Call peek() first (undefined
+    /// when empty; peek() prepares the due list pop() consumes).
+    Key pop()
+    {
+        Key k = due_[due_idx_++];
+        size_--;
+        if (due_idx_ == due_.size()) {
+            due_.clear();
+            due_idx_ = 0;
+        }
+        return k;
+    }
+
+private:
+    static bool sooner(const Key& a, const Key& b)
+    {
+        if (a.at != b.at) return a.at < b.at;
+        return a.seq < b.seq;
+    }
+
+    std::uint64_t tick_of(sim_time t) const
+    {
+        return static_cast<std::uint64_t>(t.ns) >> res_bits_;
+    }
+
+    /// Places `k` in the due list (at or behind the current tick) or the
+    /// level whose slot prefix first differs from the current position.
+    /// Returns false beyond the horizon. Does not touch size_.
+    bool place(const Key& k)
+    {
+        const std::uint64_t at_tick = tick_of(k.at);
+        if (at_tick <= current_tick_) {
+            // Same or earlier tick than the wheel position: it belongs in
+            // the (sorted) due list. Late same-instant pushes land here.
+            auto it = std::lower_bound(due_.begin() + static_cast<std::ptrdiff_t>(due_idx_),
+                                       due_.end(), k, sooner);
+            due_.insert(it, k);
+            return true;
+        }
+        const std::uint64_t diff = at_tick ^ current_tick_;
+        unsigned level;
+        if ((diff >> slot_bits) == 0)
+            level = 0;
+        else if ((diff >> (2 * slot_bits)) == 0)
+            level = 1;
+        else if ((diff >> (3 * slot_bits)) == 0)
+            level = 2;
+        else if ((diff >> (4 * slot_bits)) == 0)
+            level = 3;
+        else
+            return false; // beyond horizon
+        const auto slot =
+            static_cast<unsigned>((at_tick >> (level * slot_bits)) & (slots_per_level - 1));
+        slots_[level][slot].push_back(k);
+        occ_[level][slot >> 6] |= 1ull << (slot & 63);
+        return true;
+    }
+
+    /// Advances to the next occupied tick and fills due_. size_ > 0.
+    void refill()
+    {
+        due_.clear();
+        due_idx_ = 0;
+        for (;;) {
+            // Next occupied level-0 slot strictly ahead within the window.
+            const auto cur0 = static_cast<unsigned>(current_tick_ & (slots_per_level - 1));
+            const int s = next_occupied(0, cur0 + 1);
+            if (s >= 0) {
+                current_tick_ =
+                    (current_tick_ & ~static_cast<std::uint64_t>(slots_per_level - 1))
+                    | static_cast<unsigned>(s);
+                auto& v = slots_[0][s];
+                occ_[0][s >> 6] &= ~(1ull << (s & 63));
+                due_.swap(v);
+                std::sort(due_.begin(), due_.end(), sooner);
+                return;
+            }
+            // Level-0 window exhausted: cascade the next occupied slot of
+            // the lowest level that has one. Cascaded entries re-place
+            // into lower levels — or straight into due_ when they sit
+            // exactly on the new window start.
+            if (!cascade(1) && !cascade(2) && !cascade(3)) return; // unreachable when size_ > 0
+            if (due_idx_ < due_.size()) return;
+        }
+    }
+
+    /// Jumps the wheel position to the next occupied slot of `level` and
+    /// re-places its entries one level down. False when the level has no
+    /// occupied slot ahead in its current window.
+    bool cascade(unsigned level)
+    {
+        const auto cur =
+            static_cast<unsigned>((current_tick_ >> (level * slot_bits)) & (slots_per_level - 1));
+        const int s = next_occupied(level, cur + 1);
+        if (s < 0) return false;
+        const std::uint64_t keep_mask =
+            ~((1ull << ((level + 1) * slot_bits)) - 1); // keep bits above this level
+        current_tick_ = (current_tick_ & keep_mask)
+            | (static_cast<std::uint64_t>(s) << (level * slot_bits));
+        auto& v = slots_[level][s];
+        occ_[level][s >> 6] &= ~(1ull << (s & 63));
+        for (const Key& k : v) place(k); // always succeeds: still within horizon
+        v.clear();
+        return true;
+    }
+
+    /// First occupied slot index >= from at `level`; -1 when none.
+    int next_occupied(unsigned level, unsigned from) const
+    {
+        if (from >= slots_per_level) return -1;
+        unsigned word = from >> 6;
+        std::uint64_t m = occ_[level][word] & (~0ull << (from & 63));
+        for (;;) {
+            if (m != 0) return static_cast<int>(word * 64 + std::countr_zero(m));
+            if (++word == slots_per_level / 64) return -1;
+            m = occ_[level][word];
+        }
+    }
+
+    unsigned res_bits_;
+    std::uint64_t current_tick_{0};
+    std::size_t size_{0};
+    // Entries at or behind the wheel position, sorted by (at, seq);
+    // due_idx_ is the consumed prefix (pop() takes from the front).
+    std::vector<Key> due_;
+    std::size_t due_idx_{0};
+    std::vector<Key> slots_[levels][slots_per_level];
+    std::uint64_t occ_[levels][slots_per_level / 64]{};
+};
+
+} // namespace mmtp

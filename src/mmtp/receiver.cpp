@@ -108,8 +108,12 @@ void receiver::on_data(delivered_datagram&& d)
                 ++it;
         }
 
-        if (st.base < st.highest && !st.check_scheduled) {
-            schedule_check(k, cfg_.timing.reorder_grace);
+        if (st.base < st.highest) {
+            if (!st.check_scheduled) schedule_check(k, cfg_.timing.reorder_grace);
+        } else if (st.check_scheduled && stack_.sim().cancel(st.check_timer)) {
+            // Reordered data closed every gap before the grace period
+            // ended: drop the now-pointless check at the wheel.
+            st.check_scheduled = false;
         }
     }
 
@@ -125,7 +129,8 @@ void receiver::schedule_check(const stream_key& k, sim_duration delay)
 {
     auto& st = streams_[k];
     st.check_scheduled = true;
-    stack_.sim().schedule_in(delay, netsim::task_class::protocol, [this, k] { run_check(k); });
+    st.check_timer = stack_.sim().schedule_cancellable_in(
+        delay, netsim::task_class::protocol, [this, k] { run_check(k); });
 }
 
 sim_duration receiver::retry_interval(std::uint32_t attempts) const

@@ -13,6 +13,7 @@
 #include "common/histogram.hpp"
 #include "common/interval_set.hpp"
 #include "mmtp/stack.hpp"
+#include "netsim/engine.hpp"
 #include "mmtp/timing_profile.hpp"
 
 #include <functional>
@@ -124,6 +125,9 @@ private:
         bool failed_over{false};   // NAKs now target the fallback buffer
         std::map<std::uint64_t, gap_state> gaps; // keyed by gap start
         bool check_scheduled{false};
+        // Pending gap-check timer: cancelled when data closes every gap
+        // before the grace period ends (the check would fire dead).
+        netsim::engine::timer_handle check_timer;
     };
 
     void on_data(delivered_datagram&& d);

@@ -71,12 +71,19 @@ void sender::on_backpressure(const wire::backpressure_body& b)
 
 void sender::schedule_recovery()
 {
-    if (recovery_scheduled_ || pace_scale_ >= 1.0) return;
-    recovery_scheduled_ = true;
-    stack_.sim().schedule_at(bp_until_, netsim::task_class::protocol, [this] {
+    if (pace_scale_ >= 1.0) return;
+    if (recovery_scheduled_) {
+        // The quiet period moved: drop the superseded timer and re-arm at
+        // the new horizon (it would otherwise fire dead and reschedule).
+        if (!stack_.sim().cancel(recovery_timer_)) return;
         recovery_scheduled_ = false;
-        recovery_step();
-    });
+    }
+    recovery_scheduled_ = true;
+    recovery_timer_ = stack_.sim().schedule_cancellable_in(
+        bp_until_ - stack_.sim().now(), netsim::task_class::protocol, [this] {
+            recovery_scheduled_ = false;
+            recovery_step();
+        });
 }
 
 void sender::recovery_step()
@@ -98,11 +105,11 @@ void sender::recovery_step()
         stats_.suppressed_ns += static_cast<std::uint64_t>((now - suppressed_since_).ns);
     } else {
         recovery_scheduled_ = true;
-        stack_.sim().schedule_in(cfg_.timing.recovery_interval, netsim::task_class::protocol,
-                                 [this] {
-                                     recovery_scheduled_ = false;
-                                     recovery_step();
-                                 });
+        recovery_timer_ = stack_.sim().schedule_cancellable_in(
+            cfg_.timing.recovery_interval, netsim::task_class::protocol, [this] {
+                recovery_scheduled_ = false;
+                recovery_step();
+            });
     }
 }
 

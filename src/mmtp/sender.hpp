@@ -10,6 +10,7 @@
 
 #include "daq/message.hpp"
 #include "mmtp/stack.hpp"
+#include "netsim/engine.hpp"
 #include "mmtp/timing_profile.hpp"
 
 #include <deque>
@@ -174,6 +175,10 @@ private:
     sim_time bp_until_{sim_time::zero()};
     sim_time suppressed_since_{sim_time::zero()};
     bool recovery_scheduled_{false};
+    // Pending recovery timer: cancelled and re-armed when a fresher
+    // signal extends bp_until_, so superseded timers are dropped at the
+    // wheel instead of dead-firing.
+    netsim::engine::timer_handle recovery_timer_;
     std::uint16_t epoch_{0};
     std::uint32_t trace_site_{0};
 };

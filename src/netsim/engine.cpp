@@ -38,7 +38,8 @@ std::uint64_t engine::run_until(sim_time until)
 {
     const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t n = 0;
-    while (!events_.empty() && events_.top().at <= until) {
+    sim_time at;
+    while (next_at(at) && at <= until) {
         step();
         ++n;
     }

@@ -8,15 +8,21 @@
 // Hot-path design: closures are common/inline_task.hpp values, which
 // store the usual captures (`this` plus a moved packet) inline instead of
 // on the heap. Pending tasks are parked in a slab recycled through a free
-// list, and the 4-ary min-heap (common/dary_heap.hpp) orders only trivial
-// 24-byte {time, seq, slot} keys — sifts are plain memcpys, and pop_move()
-// moves the winning task out of the slab exactly once. Steady-state event
-// dispatch therefore performs zero allocations and zero per-event deep
+// list. Keys are trivial 24-byte {time, seq, slot} records ordered by two
+// complementary structures: high-churn timer classes (timer, protocol,
+// control) go to a hierarchical timing wheel (common/timing_wheel.hpp,
+// O(1) push) while packet-path events and far-future timers beyond the
+// wheel horizon stay on the 4-ary min-heap (common/dary_heap.hpp) — sifts
+// are plain memcpys, and pop_move() moves the winning task out of the
+// slab exactly once. step() merges both sources in exact (at, seq) order,
+// so the split is invisible to dispatch order and determinism. Steady-
+// state event dispatch performs zero allocations and zero per-event deep
 // copies.
 #pragma once
 
 #include "common/dary_heap.hpp"
 #include "common/inline_task.hpp"
+#include "common/timing_wheel.hpp"
 #include "common/units.hpp"
 
 #include <array>
@@ -28,7 +34,9 @@ namespace mmtp::netsim {
 
 /// Coarse handler classes for engine profiling. Schedulers may tag each
 /// event; untagged events count as `generic`. The tag rides in padding of
-/// the heap key, so tagging costs nothing in size or ordering.
+/// the heap key, so tagging costs nothing in size or ordering. The tag
+/// also picks the scheduling structure: timer/protocol/control events go
+/// through the timing wheel, the rest through the heap.
 enum class task_class : std::uint8_t {
     generic = 0,
     timer,        // telemetry probes, samplers, scripted scenario steps
@@ -49,6 +57,9 @@ const char* task_class_name(task_class c);
 struct engine_profile {
     std::array<std::uint64_t, task_class_count> executed_by_class{};
     std::uint64_t executed{0};
+    /// Timers dropped via engine::cancel() before firing. Deterministic:
+    /// counted at cancel time, not at reaping.
+    std::uint64_t timers_cancelled{0};
     /// Wall-clock time spent inside run()/run_until() dispatch loops.
     double wall_seconds{0.0};
 };
@@ -56,6 +67,18 @@ struct engine_profile {
 class engine {
 public:
     using action = inline_task;
+
+    static constexpr std::uint32_t no_slot = 0xffffffffu;
+
+    /// Token for a timer scheduled with schedule_cancellable_in().
+    /// Value-semantic; default-constructed means inactive. A handle goes
+    /// stale once its timer fires or is cancelled — cancel() detects
+    /// staleness via the generation counter and becomes a no-op.
+    struct timer_handle {
+        std::uint32_t slot{no_slot};
+        std::uint32_t gen{0};
+        bool active() const { return slot != no_slot; }
+    };
 
     /// Current simulated time.
     sim_time now() const { return now_; }
@@ -97,30 +120,82 @@ public:
         park(now_ + delay, tc, std::forward<F>(fn));
     }
 
+    /// Like schedule_in, but returns a handle accepted by cancel().
+    /// Meant for supersedable timers (RTO, backpressure recovery): when
+    /// the deadline moves, cancel and reschedule instead of letting the
+    /// stale closure fire dead.
+    template <typename F>
+    timer_handle schedule_cancellable_in(sim_duration delay, task_class tc, F&& fn)
+    {
+        if (delay.ns < 0) delay = sim_duration::zero();
+        const std::uint32_t slot = park(now_ + delay, tc, std::forward<F>(fn));
+        return timer_handle{slot, gen_[slot]};
+    }
+
+    /// Cancels a pending timer: the closure's captures are destroyed
+    /// immediately and the key is reaped (uncounted) when it surfaces at
+    /// the wheel or heap — the event never fires. Returns false (no-op)
+    /// for inactive or stale handles, and for a timer cancelling itself
+    /// from inside its own callback. Deactivates `h` either way.
+    bool cancel(timer_handle& h)
+    {
+        const std::uint32_t slot = h.slot;
+        const std::uint32_t gen = h.gen;
+        h.slot = no_slot;
+        if (slot == no_slot || slot >= gen_.size()) return false;
+        if (gen_[slot] != gen) return false;     // already fired or reused
+        if (slot == running_slot_) return false; // mid-fire: nothing to drop
+        if (dead_[slot]) return false;
+        dead_[slot] = 1;
+        task_at(slot).reset();
+        profile_.timers_cancelled++;
+        return true;
+    }
+
     /// Runs events until the queue empties. Returns events executed.
     std::uint64_t run();
 
     /// Runs events with time <= `until`; leaves later events queued.
     std::uint64_t run_until(sim_time until);
 
-    /// Runs at most one event; returns false when the queue is empty.
+    /// Runs at most one live event; returns false when drained.
+    /// Cancelled keys surfacing at the front are reaped silently.
     bool step()
     {
-        if (events_.empty()) return false;
-        const key k = events_.pop_move();
-        now_ = k.at;
-        profile_.executed_by_class[static_cast<std::size_t>(k.tag)]++;
-        profile_.executed++;
-        // Run the task in place — slab blocks are address-stable, and the
-        // slot is only recycled (below) after the callback returns, so
-        // reentrant scheduling is safe without moving the closure out.
-        task_at(k.slot).run_and_reset();
-        free_slots_.push_back(k.slot);
-        return true;
+        for (;;) {
+            key k;
+            const key* w = wheel_.peek();
+            if (w != nullptr && (events_.empty() || sooner{}(*w, events_.top())))
+                k = wheel_.pop();
+            else if (!events_.empty())
+                k = events_.pop_move();
+            else
+                return false;
+            now_ = k.at;
+            if (dead_[k.slot]) {
+                reap(k.slot);
+                continue;
+            }
+            profile_.executed_by_class[static_cast<std::size_t>(k.tag)]++;
+            profile_.executed++;
+            // Run the task in place — slab blocks are address-stable, and
+            // the slot is only recycled (below) after the callback
+            // returns, so reentrant scheduling is safe without moving the
+            // closure out.
+            running_slot_ = k.slot;
+            task_at(k.slot).run_and_reset();
+            running_slot_ = no_slot;
+            gen_[k.slot]++;
+            free_slots_.push_back(k.slot);
+            return true;
+        }
     }
 
-    bool empty() const { return events_.empty(); }
-    std::size_t pending() const { return events_.size(); }
+    bool empty() const { return events_.empty() && wheel_.empty(); }
+
+    /// Pending keys across heap and wheel. Cancelled-but-unreaped timers
+    /// still count until their key surfaces.
+    std::size_t pending() const { return events_.size() + wheel_.size(); }
 
     /// Event counts by handler class and dispatch wall time so far.
     const engine_profile& profile() const { return profile_; }
@@ -151,28 +226,87 @@ private:
         return blocks_[slot >> slab_block_bits][slot & (slab_block_size - 1)];
     }
 
+    static constexpr bool wheel_routed(task_class tc)
+    {
+        return tc == task_class::timer || tc == task_class::protocol ||
+               tc == task_class::control;
+    }
+
+    /// Recycles a cancelled slot without counting an execution.
+    void reap(std::uint32_t slot)
+    {
+        dead_[slot] = 0;
+        gen_[slot]++;
+        free_slots_.push_back(slot);
+    }
+
+    /// Earliest pending live event time. Reaps cancelled keys at the
+    /// front so run_until() never mistakes a dead timer for work.
+    bool next_at(sim_time& at)
+    {
+        for (;;) {
+            const key* w = wheel_.peek();
+            if (w != nullptr && dead_[w->slot]) {
+                reap(wheel_.pop().slot);
+                continue;
+            }
+            if (!events_.empty() && dead_[events_.top().slot]) {
+                reap(events_.pop_move().slot);
+                continue;
+            }
+            if (w == nullptr && events_.empty()) return false;
+            if (w == nullptr)
+                at = events_.top().at;
+            else if (events_.empty())
+                at = w->at;
+            else
+                at = sooner{}(*w, events_.top()) ? w->at : events_.top().at;
+            return true;
+        }
+    }
+
     template <typename F>
-    void park(sim_time at, task_class tc, F&& fn)
+    std::uint32_t park(sim_time at, task_class tc, F&& fn)
     {
         std::uint32_t slot;
         if (!free_slots_.empty()) {
             slot = free_slots_.back();
             free_slots_.pop_back();
         } else {
-            if ((task_count_ >> slab_block_bits) == blocks_.size())
+            if ((task_count_ >> slab_block_bits) == blocks_.size()) {
                 blocks_.push_back(std::make_unique<action[]>(slab_block_size));
+                gen_.resize(blocks_.size() * slab_block_size, 0);
+                dead_.resize(blocks_.size() * slab_block_size, 0);
+                // The free list must be able to absorb every slot (a
+                // fully drained schedule) without a dispatch-time
+                // realloc: pay for that capacity here, at growth time.
+                free_slots_.reserve(blocks_.size() * slab_block_size);
+            }
             slot = task_count_++;
         }
         task_at(slot).emplace(std::forward<F>(fn));
-        events_.push(key{at, next_seq_++, slot, tc});
+        const key k{at, next_seq_++, slot, tc};
+        // High-churn timer classes ride the wheel; packet-path classes
+        // and wheel-horizon overflow stay on the heap. step() merges the
+        // two in exact (at, seq) order, so routing never changes dispatch
+        // order — only the cost of getting there.
+        if (wheel_routed(tc) && wheel_.push(k, now_)) return slot;
+        events_.push(k);
+        return slot;
     }
 
     sim_time now_{sim_time::zero()};
     std::uint64_t next_seq_{0};
     dary_heap<key, sooner> events_;
+    timing_wheel<key> wheel_;
     std::vector<std::unique_ptr<action[]>> blocks_;
     std::uint32_t task_count_{0};
     std::vector<std::uint32_t> free_slots_;
+    // Cancellation bookkeeping, indexed by slot. gen_ advances at every
+    // recycle so stale timer_handles can never hit a reused slot.
+    std::vector<std::uint32_t> gen_;
+    std::vector<std::uint8_t> dead_;
+    std::uint32_t running_slot_{no_slot};
     engine_profile profile_;
 };
 

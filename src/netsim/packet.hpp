@@ -34,6 +34,12 @@ struct packet {
 
     // --- trace metadata (not on the wire) ---
     sim_time created{sim_time::zero()};
+    /// Exact per-packet virtual time on the burst path: the send time
+    /// while the packet waits in a link's pending ring, the arrival time
+    /// once committed. Burst-aware receivers read this instead of
+    /// engine::now() (a burst event fires at its first packet's arrival),
+    /// which is what keeps burst>1 metrics byte-identical to burst=1.
+    sim_time stamp{sim_time::zero()};
     std::uint64_t flow_id{0};
     /// Set by a link when the corruption model fired; receivers treat the
     /// packet as failing its integrity check and drop it.

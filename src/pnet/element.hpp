@@ -48,6 +48,18 @@ class pipeline_stage {
 public:
     virtual ~pipeline_stage() = default;
     virtual void process(packet_context& ctx, element_state& state) = 0;
+
+    /// Burst variant: one virtual call processes ctxs[0..n) in order.
+    /// Already-dropped packets are skipped, which preserves the
+    /// per-packet loop's first-drop-wins semantics (it breaks on drop, so
+    /// later stages never see a dropped packet). Concrete stages override
+    /// with a devirtualized loop; semantics must stay identical.
+    virtual void process_burst(packet_context* ctxs, unsigned n, element_state& state)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            if (!ctxs[i].drop) process(ctxs[i], state);
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -81,6 +93,14 @@ public:
 
     void receive(netsim::packet&& p, unsigned ingress_port) override;
 
+    /// Burst entry point: runs the whole burst through each stage before
+    /// advancing (stage-major), so per-stage virtual dispatch is paid
+    /// once per burst. Each packet is processed at its own arrival stamp
+    /// (ctx.now = pkt.stamp) and forwarded via link::send_at at its exact
+    /// classic-path egress time, so per-packet timelines and statistics
+    /// match the per-packet path byte for byte.
+    void receive_burst(netsim::packet* pkts, unsigned n, unsigned ingress_port) override;
+
     /// Appends a stage; runs after all previously added stages.
     void add_stage(std::shared_ptr<pipeline_stage> stage);
 
@@ -98,6 +118,13 @@ public:
 
 private:
     void forward(netsim::packet&& p, wire::ipv4_addr dst, bool over_l2);
+    /// Burst-path forwarding: egress at virtual time `now` + pipeline
+    /// latency via link::send_at (classic-equivalent event when the
+    /// egress link is not in burst mode).
+    void forward_at(sim_time now, netsim::packet&& p, wire::ipv4_addr dst);
+    /// Emissions / drop verdict / deparse / clones / primary forward for
+    /// one burst packet — the tail of receive(), at ctx.now.
+    void finalize_burst(packet_context& ctx);
 
     element_profile profile_;
     element_state state_;
@@ -105,6 +132,9 @@ private:
     switch_stats stats_;
     unsigned l2_uplink_{netsim::no_port};
     netsim::packet_id_source* ids_{nullptr};
+    /// Scratch contexts for receive_burst, lazily sized to max_burst and
+    /// reused (vectors keep their capacity) so bursts never allocate.
+    std::unique_ptr<packet_context[]> ctx_scratch_;
 };
 
 } // namespace mmtp::pnet

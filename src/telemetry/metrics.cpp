@@ -114,6 +114,8 @@ void register_engine_metrics(metrics_registry& reg, const netsim::engine& eng)
                       [e, i] { return e->profile().executed_by_class[i]; });
     }
     reg.add_probe("engine_events_total", {}, [e] { return e->profile().executed; });
+    reg.add_probe("engine_timers_cancelled", {},
+                  [e] { return e->profile().timers_cancelled; });
 }
 
 void register_link_metrics(metrics_registry& reg, const std::string& link_name,
