@@ -1,0 +1,109 @@
+// chaos_replay — record a kill-and-revive chaos run into an archive
+// blob, then replay it without re-running the simulation.
+//
+//   chaos_replay record <blob>            run the drill, write the
+//                                         recording plus <blob>.metrics.csv
+//   chaos_replay replay <blob> <csv-out>  reopen the recording and write
+//                                         the re-derived metrics CSV
+//
+// Record the same seed twice: the blobs are byte-identical. Replay a
+// recording: the CSV it re-derives matches the live run's byte-for-byte
+// (the CI replay-determinism job diffs exactly that). The blob also
+// carries every wire event and the interned site table, so offline
+// tools can rebuild a flight recorder and walk message timelines long
+// after the run — the recorded-run corpus the ROADMAP asks for.
+#include "scenario/chaos.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool write_file(const std::string& path, const void* data, std::size_t size)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f) return false;
+    f.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    return static_cast<bool>(f);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+int do_record(const std::string& blob_path)
+{
+    using namespace mmtp;
+    auto cfg = scenario::kill_revive_config();
+    cfg.record = true;
+    const auto r = scenario::run_chaos_drill(cfg);
+
+    if (!write_file(blob_path, r.recording.data(), r.recording.size())) {
+        std::fprintf(stderr, "cannot write %s\n", blob_path.c_str());
+        return 1;
+    }
+    const auto csv_path = blob_path + ".metrics.csv";
+    if (!write_file(csv_path, r.metrics_csv.data(), r.metrics_csv.size())) {
+        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+        return 1;
+    }
+    std::printf("recorded run: %zu bytes -> %s (live metrics -> %s)\n",
+                r.recording.size(), blob_path.c_str(), csv_path.c_str());
+    std::printf("delivered %llu/%llu, given up %llu, revivals %llu, "
+                "recovered from archive %llu\n",
+                static_cast<unsigned long long>(r.rx.datagrams),
+                static_cast<unsigned long long>(r.messages_sent),
+                static_cast<unsigned long long>(r.rx.given_up),
+                static_cast<unsigned long long>(r.buf1.revivals),
+                static_cast<unsigned long long>(r.buf1.recovered_records));
+    return r.recovered2 && r.rx.given_up == 0 ? 0 : 1;
+}
+
+int do_replay(const std::string& blob_path, const std::string& csv_out)
+{
+    using namespace mmtp;
+    auto blob = read_file(blob_path);
+    if (blob.empty()) {
+        std::fprintf(stderr, "cannot read %s\n", blob_path.c_str());
+        return 1;
+    }
+    auto rep = telemetry::run_replayer::open(std::move(blob));
+    if (!rep || !rep->verify()) {
+        std::fprintf(stderr, "malformed or inconsistent recording\n");
+        return 1;
+    }
+    const auto csv = rep->metrics_csv();
+    if (!write_file(csv_out, csv.data(), csv.size())) {
+        std::fprintf(stderr, "cannot write %s\n", csv_out.c_str());
+        return 1;
+    }
+
+    std::uint64_t events = 0;
+    rep->replay_wire([&events](const telemetry::replayed_event&) { events++; });
+    std::printf("replayed scenario '%s' (seed %llu): %llu wire events, "
+                "metrics -> %s\n",
+                rep->scenario().c_str(),
+                static_cast<unsigned long long>(rep->seed()),
+                static_cast<unsigned long long>(events), csv_out.c_str());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc >= 3 && std::strcmp(argv[1], "record") == 0) return do_record(argv[2]);
+    if (argc >= 4 && std::strcmp(argv[1], "replay") == 0)
+        return do_replay(argv[2], argv[3]);
+    std::fprintf(stderr,
+                 "usage: %s record <blob>\n"
+                 "       %s replay <blob> <csv-out>\n",
+                 argv[0], argv[0]);
+    return 2;
+}

@@ -115,6 +115,10 @@ public:
     /// Site 0 is reserved for "unnamed". Wiring-time only — allocates.
     std::uint32_t site(const std::string& name);
     const std::string& site_name(std::uint32_t id) const;
+    /// Number of interned sites including the reserved "unnamed" slot 0
+    /// (ids are dense: 0 .. site_count()-1) — lets a run recorder archive
+    /// the whole table for faithful replay.
+    std::uint32_t site_count() const { return static_cast<std::uint32_t>(site_names_.size()); }
 
     void emit(std::int64_t at_ns, std::uint32_t site_id, hop kind,
               std::uint64_t packet_id, std::uint64_t arg, reason why) noexcept

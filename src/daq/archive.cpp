@@ -34,6 +34,7 @@ std::optional<std::map<std::string, std::string>> read_attributes(byte_reader& r
 {
     std::map<std::string, std::string> out;
     const auto n = r.u16();
+    if (r.failed()) return std::nullopt; // truncated count must fail closed
     for (std::uint16_t i = 0; i < n; ++i) {
         auto k = read_string(r);
         auto v = read_string(r);
@@ -61,13 +62,65 @@ void archive_writer::set_dataset_attribute(wire::experiment_id experiment,
     datasets_[experiment].attributes[key] = value;
 }
 
-void archive_writer::append(wire::experiment_id experiment, archived_record r)
+bool archive_writer::append(wire::experiment_id experiment, archived_record r)
 {
-    auto& ds = datasets_[experiment];
+    if (limits_.max_record_bytes != 0 && r.payload.size() > limits_.max_record_bytes) {
+        stats_.rejected_oversize++;
+        return false;
+    }
+    auto it = datasets_.find(experiment);
+    if (it == datasets_.end()) {
+        if (limits_.max_datasets != 0 && datasets_.size() >= limits_.max_datasets) {
+            stats_.rejected_dataset_cap++;
+            return false;
+        }
+        it = datasets_.try_emplace(experiment).first;
+    }
+    auto& ds = it->second;
+    if (limits_.max_chunks_per_dataset != 0
+        && ds.record_count >= static_cast<std::uint64_t>(limits_.max_chunks_per_dataset)
+                * limits_.chunk_records) {
+        stats_.rejected_chunk_cap++;
+        return false;
+    }
     ds.open_chunk.push_back(std::move(r));
     ds.record_count++;
     records_++;
+    stats_.appended++;
     if (ds.open_chunk.size() >= limits_.chunk_records) seal_chunk(ds);
+    return true;
+}
+
+void archive_writer::seal_open_chunks()
+{
+    for (auto& [id, ds] : datasets_) seal_chunk(ds);
+}
+
+std::uint64_t archive_writer::discard_open_chunks()
+{
+    std::uint64_t dropped = 0;
+    for (auto& [id, ds] : datasets_) {
+        dropped += ds.open_chunk.size();
+        ds.record_count -= ds.open_chunk.size();
+        records_ -= ds.open_chunk.size();
+        ds.open_chunk.clear();
+    }
+    return dropped;
+}
+
+std::uint64_t archive_writer::sealed_records() const
+{
+    std::uint64_t n = 0;
+    for (const auto& [id, ds] : datasets_)
+        for (const auto c : ds.chunk_counts) n += c;
+    return n;
+}
+
+std::uint64_t archive_writer::open_records() const
+{
+    std::uint64_t n = 0;
+    for (const auto& [id, ds] : datasets_) n += ds.open_chunk.size();
+    return n;
 }
 
 void archive_writer::seal_chunk(dataset& ds)
@@ -94,6 +147,7 @@ void archive_writer::seal_chunk(dataset& ds)
     ds.chunk_spans.push_back({offset, bytes.size()});
     ds.chunk_counts.push_back(static_cast<std::uint32_t>(ds.open_chunk.size()));
     ds.open_chunk.clear();
+    stats_.chunks_sealed++;
 }
 
 std::vector<std::uint8_t> archive_writer::finalize()
@@ -158,22 +212,35 @@ std::optional<archive_reader> archive_reader::open(std::vector<std::uint8_t> blo
     out.attributes_ = std::move(*attrs);
 
     const auto n_datasets = idx.u32();
+    if (idx.failed()) return std::nullopt;
     for (std::uint32_t d = 0; d < n_datasets; ++d) {
         const auto id = idx.u32();
         dataset_view view;
         view.record_count = idx.u64();
+        if (idx.failed()) return std::nullopt; // fail closed before attr parse
         auto ds_attrs = read_attributes(idx);
         if (!ds_attrs) return std::nullopt;
         view.attributes = std::move(*ds_attrs);
         const auto n_chunks = idx.u32();
+        if (idx.failed()) return std::nullopt; // huge n_chunks from garbage
+        std::uint64_t indexed = 0;
         for (std::uint32_t c = 0; c < n_chunks; ++c) {
             chunk_ref ref;
             ref.offset = idx.u64();
             ref.length = idx.u64();
             ref.records = idx.u32();
-            if (ref.offset + ref.length > out.blob_.size()) return std::nullopt;
+            if (idx.failed()) return std::nullopt;
+            // overflow-safe span check: offset + length can wrap in u64
+            if (ref.length > out.blob_.size()
+                || ref.offset > out.blob_.size() - ref.length)
+                return std::nullopt;
+            if (ref.length < 8) return std::nullopt; // crc + record count minimum
+            indexed += ref.records;
             view.chunks.push_back(ref);
         }
+        // the index must agree with itself: chunk record counts sum to
+        // the dataset's declared record_count
+        if (indexed != view.record_count) return std::nullopt;
         out.datasets_[id] = std::move(view);
     }
     if (idx.failed()) return std::nullopt;
@@ -210,6 +277,7 @@ std::vector<archived_record> archive_reader::parse_chunk(const chunk_ref& c) con
     byte_reader r(std::span<const std::uint8_t>(blob_).subspan(c.offset, c.length));
     r.skip(4); // crc, validated at open()
     const auto n = r.u32();
+    if (r.failed() || n != c.records) return {}; // body disagrees with index
     for (std::uint32_t i = 0; i < n; ++i) {
         archived_record rec;
         rec.sequence = r.u64();

@@ -38,6 +38,29 @@ struct archived_record {
 struct archive_limits {
     /// Records per chunk before the chunk is sealed and checksummed.
     std::uint32_t chunk_records{256};
+    /// Largest accepted record payload in bytes (0 = unlimited). An
+    /// oversized append is rejected — returned false and counted — so a
+    /// runaway producer cannot grow chunks without bound.
+    std::uint32_t max_record_bytes{0};
+    /// Cap on records per dataset, expressed in sealed chunks
+    /// (0 = unlimited): once a dataset holds chunk_records *
+    /// max_chunks_per_dataset records, further appends to it are
+    /// rejected. finalize() therefore never emits more than
+    /// max_chunks_per_dataset chunks for any dataset.
+    std::uint32_t max_chunks_per_dataset{0};
+    /// Cap on distinct datasets created by append (0 = unlimited);
+    /// appends that would create one more are rejected.
+    std::uint32_t max_datasets{0};
+};
+
+/// Append-path accounting: every rejected record is counted under the
+/// limit that refused it (nothing is dropped silently).
+struct archive_writer_stats {
+    std::uint64_t appended{0};
+    std::uint64_t rejected_oversize{0};
+    std::uint64_t rejected_chunk_cap{0};
+    std::uint64_t rejected_dataset_cap{0};
+    std::uint64_t chunks_sealed{0};
 };
 
 /// Serializes datasets of archived_records into a single byte blob.
@@ -49,7 +72,19 @@ public:
     void set_attribute(const std::string& key, const std::string& value);
 
     /// Appends a record to the dataset of `experiment` (created lazily).
-    void append(wire::experiment_id experiment, archived_record r);
+    /// Returns false — and counts the rejection — when an archive_limits
+    /// cap refuses it; the writer stays usable either way.
+    bool append(wire::experiment_id experiment, archived_record r);
+
+    /// Seals every open chunk now (the durability point a crash cannot
+    /// take back), without finalizing. Chunks sealed early may hold
+    /// fewer than chunk_records records; readers do not care.
+    void seal_open_chunks();
+
+    /// Drops every record still in an open (unsealed) chunk — the model
+    /// of a crash losing the buffered tail that never reached disk.
+    /// Returns how many records were discarded.
+    std::uint64_t discard_open_chunks();
 
     /// Dataset-level attribute.
     void set_dataset_attribute(wire::experiment_id experiment, const std::string& key,
@@ -60,6 +95,11 @@ public:
     std::vector<std::uint8_t> finalize();
 
     std::uint64_t records_written() const { return records_; }
+    /// Records currently durable (inside sealed chunks).
+    std::uint64_t sealed_records() const;
+    /// Records still in open chunks (lost if discard_open_chunks runs).
+    std::uint64_t open_records() const;
+    const archive_writer_stats& stats() const { return stats_; }
 
 private:
     struct dataset {
@@ -77,6 +117,7 @@ private:
     std::map<wire::experiment_id, dataset> datasets_;
     std::map<std::string, std::string> attributes_;
     std::uint64_t records_{0};
+    archive_writer_stats stats_;
 };
 
 /// Parses a blob produced by archive_writer; validates magic, version and
@@ -99,6 +140,8 @@ public:
     std::optional<std::string> attribute(const std::string& key) const;
     std::optional<std::string> dataset_attribute(wire::experiment_id experiment,
                                                  const std::string& key) const;
+    /// All file-level attributes (for journal-style metadata scans).
+    const std::map<std::string, std::string>& attributes() const { return attributes_; }
 
 private:
     archive_reader() = default;

@@ -40,6 +40,13 @@ void buffer_service::relay(const delivered_datagram& d)
     entry.timestamp_ns = d.hdr.timestamp_ns.value_or(static_cast<std::uint64_t>(now.ns));
     entry.size_bytes = static_cast<std::uint32_t>(d.total_payload_bytes);
     entry.inline_payload = d.payload;
+    if (cfg_.persist) {
+        if (cfg_.persist->append(entry))
+            stats_.persisted++;
+        else
+            stats_.persist_rejected++;
+        cfg_.persist->note_sequence(d.hdr.experiment, seq + 1);
+    }
     buffer_.store(std::move(entry), now);
     check_pressure(d.src, d.hdr.experiment);
 
@@ -236,6 +243,44 @@ void buffer_service::flush(unsigned copies)
                                     : std::vector<std::uint8_t>{});
         }
     }
+}
+
+void buffer_service::crash()
+{
+    // Everything in memory dies with the node; the durable store (the
+    // disk) keeps its sealed chunks and loses the open tail.
+    buffer_ = dtn::retransmission_buffer(cfg_.buffer);
+    seq_counters_.clear();
+    rtx_queue_.clear();
+    queued_.clear();
+    rtx_ready_ = sim_time::zero();
+    pressure_engaged_ = false;
+    signalled_.clear();
+    stats_.crashes++;
+    if (cfg_.persist) stats_.tail_lost += cfg_.persist->crash();
+    // A pending pump event may still fire; it finds an empty queue and
+    // rtx_pump_scheduled_ resets itself — harmless.
+}
+
+std::uint64_t buffer_service::revive(wire::ipv4_addr collector)
+{
+    std::uint64_t n = 0;
+    if (cfg_.persist) {
+        const auto now = stack_.sim().now();
+        auto rec = cfg_.persist->recover();
+        for (auto& d : rec.records) {
+            buffer_.store(std::move(d), now);
+            n++;
+        }
+        for (const auto& [experiment, next] : rec.next_sequences) {
+            auto& slot = seq_counters_[experiment];
+            if (next > slot) slot = next;
+        }
+        stats_.recovered_records += n;
+    }
+    stats_.revivals++;
+    if (collector != 0) advertise(collector);
+    return n;
 }
 
 void buffer_service::advertise(wire::ipv4_addr collector)

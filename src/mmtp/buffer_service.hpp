@@ -16,6 +16,7 @@
 #pragma once
 
 #include "dtn/buffer.hpp"
+#include "dtn/durable_store.hpp"
 #include "mmtp/stack.hpp"
 #include "mmtp/timing_profile.hpp"
 
@@ -71,6 +72,11 @@ struct buffer_service_config {
     /// engagement, so a rapidly flapping occupancy watermark cannot emit
     /// a signal storm (0 restores signal-per-engagement).
     timing_profile timing{};
+    /// Archive-backed persistence (§6 challenge 2). Non-owning: the
+    /// store models the node's disk and is owned by the testbed, so it
+    /// survives the crash()/revive() cycle that wipes the in-memory
+    /// buffer. nullptr = volatile buffer (legacy behavior).
+    dtn::durable_store* persist{nullptr};
 };
 
 struct buffer_service_stats {
@@ -86,6 +92,13 @@ struct buffer_service_stats {
     /// still waiting in the paced queue.
     std::uint64_t retransmit_dedup{0};
     std::uint64_t retransmit_queue_peak{0};
+    // Persistence lifecycle (all zero without cfg.persist):
+    std::uint64_t persisted{0};        // records appended to the archive
+    std::uint64_t persist_rejected{0}; // refused by an archive cap
+    std::uint64_t crashes{0};
+    std::uint64_t tail_lost{0};          // unsealed records lost across crashes
+    std::uint64_t recovered_records{0};  // reloaded from the archive at revive
+    std::uint64_t revivals{0};
 };
 
 class buffer_service {
@@ -120,6 +133,19 @@ public:
     /// Sweeps retention decay and re-evaluates the occupancy watermarks;
     /// schedule this periodically so pressure releases between stores.
     void poll_pressure();
+
+    /// Models the node dying: wipes ALL in-memory state (retransmission
+    /// buffer, sequence counters, paced repair queue, pressure state) and
+    /// crashes the durable store — its unsealed tail is lost and counted.
+    /// Pair with fault_scheduler::blackout_node, which stops delivery.
+    void crash();
+
+    /// Models the node coming back: reloads every record the archive
+    /// preserved into the retransmission buffer, restores per-experiment
+    /// sequence counters from the recovered journal, and (when collector
+    /// is nonzero) re-advertises so receivers can fail *back*. Returns
+    /// the number of records recovered.
+    std::uint64_t revive(wire::ipv4_addr collector = 0);
 
 private:
     void handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,

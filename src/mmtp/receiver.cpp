@@ -78,7 +78,13 @@ void receiver::on_data(delivered_datagram&& d)
         const stream_key k{h.experiment, h.sequencing->epoch};
         auto& st = streams_[k];
         const auto s = h.sequencing->sequence;
-        if (h.retransmission) st.buffer_addr = h.retransmission->buffer_addr;
+        // Track the stream's primary repair point as stamped on-path —
+        // but while failed over, the fallback's own retransmissions must
+        // not overwrite the remembered primary: its identity is what a
+        // revived primary's re-advertisement matches for failback.
+        if (h.retransmission
+            && !(st.failed_over && h.retransmission->buffer_addr == fallback_buffer_))
+            st.buffer_addr = h.retransmission->buffer_addr;
 
         if (s < st.base || st.received.contains(s)) {
             stats_.duplicates++;
@@ -123,6 +129,25 @@ void receiver::on_data(delivered_datagram&& d)
     trace::emit(now, trace_site_, trace::hop::mmtp_deliver, d.packet_id,
                 h.sequencing ? h.sequencing->sequence : 0);
     if (on_datagram_) on_datagram_(d);
+}
+
+void receiver::note_buffer_available(wire::ipv4_addr addr)
+{
+    if (addr == 0) return;
+    const auto now = stack_.sim().now();
+    for (auto& [k, st] : streams_) {
+        if (!st.failed_over || st.buffer_addr != addr) continue;
+        st.failed_over = false;
+        stats_.buffer_failbacks++;
+        trace::emit(now, trace_site_, trace::hop::mmtp_failover, 0, addr);
+        for (auto& [start, g] : st.gaps) {
+            (void)start;
+            g.attempts = 0;
+            g.last_nak = sim_time::zero();
+        }
+        if (st.base < st.highest && !st.check_scheduled)
+            schedule_check(k, cfg_.timing.reorder_grace);
+    }
 }
 
 void receiver::schedule_check(const stream_key& k, sim_duration delay)

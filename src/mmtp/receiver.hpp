@@ -62,6 +62,7 @@ struct receiver_stats {
     std::uint64_t nak_ranges_sent{0};
     std::uint64_t nak_retries{0};    // NAK re-sends (attempt 2+, backed off)
     std::uint64_t buffer_failovers{0}; // streams switched to the fallback
+    std::uint64_t buffer_failbacks{0}; // streams returned to a revived primary
     std::uint64_t given_up{0};       // sequences abandoned after retries
     std::uint64_t aged_on_arrival{0}; // deadline already exceeded (flag/age)
     /// Arrivals whose stamped policy epoch (cfg_id) differed from the
@@ -88,6 +89,13 @@ public:
     /// from a buffer advert's secondary_addr.
     void set_fallback_buffer(wire::ipv4_addr addr) { fallback_buffer_ = addr; }
     wire::ipv4_addr fallback_buffer() const { return fallback_buffer_; }
+
+    /// A buffer at `addr` (re-)announced itself — typically a revived
+    /// node's re-advertisement. Streams that had failed over away from
+    /// it fail *back*: the sticky failed_over flag clears, retry budgets
+    /// and backoff reset, and outstanding gaps are re-probed against the
+    /// revived primary at the base interval.
+    void note_buffer_available(wire::ipv4_addr addr);
 
     const receiver_stats& stats() const { return stats_; }
 

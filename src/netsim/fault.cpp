@@ -49,6 +49,9 @@ void fault_scheduler::blackout_node(node& n, sim_time at)
         if (!n.powered()) return;
         stats_.node_blackouts++;
         n.set_powered(false);
+        auto it = blackout_hooks_.find(&n);
+        if (it != blackout_hooks_.end())
+            for (auto& fn : it->second) fn();
     });
 }
 
@@ -58,7 +61,20 @@ void fault_scheduler::restore_node(node& n, sim_time at)
         if (n.powered()) return;
         stats_.node_restores++;
         n.set_powered(true);
+        auto it = restore_hooks_.find(&n);
+        if (it != restore_hooks_.end())
+            for (auto& fn : it->second) fn();
     });
+}
+
+void fault_scheduler::on_blackout(node& n, std::function<void()> fn)
+{
+    blackout_hooks_[&n].push_back(std::move(fn));
+}
+
+void fault_scheduler::on_restore(node& n, std::function<void()> fn)
+{
+    restore_hooks_[&n].push_back(std::move(fn));
 }
 
 void fault_scheduler::blackout_window(node& n, sim_time at, sim_duration duration)

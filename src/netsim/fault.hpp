@@ -27,6 +27,9 @@
 #include "netsim/node.hpp"
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
 
 namespace mmtp::netsim {
 
@@ -73,11 +76,23 @@ public:
     /// Convenience: blackout at `at`, restore after `duration`.
     void blackout_window(node& n, sim_time at, sim_duration duration);
 
+    /// Lifecycle hooks: fired when a blackout/restore event genuinely
+    /// transitions the node's power state (a restore of an already-powered
+    /// node fires nothing — double-restore is idempotent end to end).
+    /// Fired *after* the state change, so a restore hook runs on a
+    /// powered node and can send traffic. Use these to model software
+    /// dying with the hardware: crash a buffer_service on blackout,
+    /// revive it from its archive on restore.
+    void on_blackout(node& n, std::function<void()> fn);
+    void on_restore(node& n, std::function<void()> fn);
+
     const fault_stats& stats() const { return stats_; }
 
 private:
     engine& eng_;
     fault_stats stats_;
+    std::map<const node*, std::vector<std::function<void()>>> blackout_hooks_;
+    std::map<const node*, std::vector<std::function<void()>>> restore_hooks_;
 };
 
 } // namespace mmtp::netsim

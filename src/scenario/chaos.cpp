@@ -8,7 +8,52 @@ namespace {
 /// The drill's one stream: the ICEBERG experiment, slice 0.
 constexpr wire::experiment_id drill_stream =
     wire::make_experiment_id(wire::experiments::iceberg, 0);
+
+/// End-of-window flush: sequence numbers were assigned in-network, so
+/// the marker reads the Tofino's own counter. Three copies: the marker
+/// crosses the (post-fault) WAN like everything else.
+void send_flush(chaos_testbed& tb)
+{
+    auto& st = tb.tofino->state();
+    st.create_register("mode_seq", pnet::mode_transition_stage::seq_register_cells);
+    const auto cell =
+        st.reg("mode_seq", drill_stream % pnet::mode_transition_stage::seq_register_cells);
+    wire::stream_flush_body body;
+    body.experiment = drill_stream;
+    body.epoch = static_cast<std::uint16_t>(cell >> 48);
+    body.next_sequence = cell & 0xffffffffffffull;
+    byte_writer w;
+    serialize(body, w);
+    for (int i = 0; i < 3; ++i) {
+        tb.src_stack->send_control(
+            tb.rx_host->address(), drill_stream, wire::control_type::stream_flush,
+            std::vector<std::uint8_t>(w.view().begin(), w.view().end()));
+    }
+}
 } // namespace
+
+chaos_config kill_revive_config()
+{
+    chaos_config cfg;
+    // Phase A is the classic drill (primary WAN + buf1 die at 2 ms,
+    // receiver fails over to buf2). Phase B: buf2 dies, buf1 revives
+    // from its archive, and a second wave rides a corruption burst that
+    // only the revived buffer can repair.
+    cfg.fault2_at = sim_time{25000000};      // 25 ms: blackout buf2
+    cfg.revive_at = sim_time{30000000};      // 30 ms: buf1 reloads + re-adverts
+    cfg.messages2 = 500;                     // 32..34 ms second wave
+    cfg.second_wave_at = sim_time{32000000};
+    cfg.burst_at = sim_time{32000000};       // 1 ms of backup-span corruption
+    cfg.burst_duration = sim_duration{1000000};
+    cfg.burst_ber = 2e-6;
+    cfg.flush2_at = sim_time{36000000};
+    // failover_attempts stays at the classic 2: phase A must fail over
+    // to buf2 (~17 ms) well before buf2 itself dies at 25 ms. A
+    // corrupted second-wave retransmission cannot re-fail the stream
+    // over to the dead buf2, because the 5 ms NAK retry base puts every
+    // second attempt past the 1 ms burst.
+    return cfg;
+}
 
 std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
 {
@@ -49,6 +94,7 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     tb->wan_primary = &tb->tofino->egress(tb->wan_primary_port);
     tb->wan_backup = &tb->tofino->egress(tb->wan_backup_port);
     tb->buf1_feed = &tb->tofino->egress(buf1_feed_port);
+    tb->buf2_feed = &tb->tofino->egress(buf2_feed_port);
 
     // --- observability: flight recorder sites + metrics registry ---
     if (cfg.trace) {
@@ -96,6 +142,12 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     core::buffer_service_config b1;
     b1.tap_only = true;
     b1.secondary_buffer = tb->buf2->address();
+    // buf1 writes through to its modeled disk unconditionally; with the
+    // kill-and-revive phase disabled the archive is simply never reread.
+    daq::archive_limits persist_limits;
+    persist_limits.chunk_records = cfg.persist_chunk_records;
+    tb->buf1_store = std::make_unique<dtn::durable_store>(persist_limits);
+    b1.persist = tb->buf1_store.get();
     tb->buf1_stack = std::make_unique<core::stack>(*tb->buf1, net.ids());
     tb->buf1_svc = std::make_unique<core::buffer_service>(*tb->buf1_stack, b1);
     tb->buf1_svc->attach_as_sink();
@@ -117,6 +169,9 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     // names buf2 as the secondary holding the same streams.
     tb->rx_stack->set_advert_handler([tbp = tb.get()](const wire::buffer_advert_body& a) {
         if (a.secondary_addr != 0) tbp->rx->set_fallback_buffer(a.secondary_addr);
+        // A (re-)advertisement also announces the buffer is alive:
+        // streams that failed over away from it fail back.
+        tbp->rx->note_buffer_available(a.buffer_addr);
     });
 
     if (tb->tracer) {
@@ -172,31 +227,18 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     daq::steady_source source(drill_stream, cfg.message_bytes, cfg.message_interval,
                               cfg.first_message, cfg.messages);
     tb->messages_scheduled = tb->tx->drive(source);
+    if (cfg.messages2 > 0 && cfg.second_wave_at.ns > 0) {
+        daq::steady_source wave2(drill_stream, cfg.message_bytes, cfg.message_interval,
+                                 cfg.second_wave_at, cfg.messages2);
+        tb->messages_scheduled += tb->tx->drive(wave2);
+    }
 
     eng.schedule_at(sim_time{10000},
                     [tbp = tb.get()] { tbp->buf1_svc->advertise(tbp->rx_host->address()); });
 
-    eng.schedule_at(cfg.flush_at, [tbp = tb.get()] {
-        // Sequence numbers were assigned in-network; the end-of-window
-        // marker therefore reads the Tofino's own counter. Three copies:
-        // the marker crosses the (post-fault) WAN like everything else.
-        auto& st = tbp->tofino->state();
-        st.create_register("mode_seq", pnet::mode_transition_stage::seq_register_cells);
-        const auto cell = st.reg(
-            "mode_seq", drill_stream % pnet::mode_transition_stage::seq_register_cells);
-        wire::stream_flush_body body;
-        body.experiment = drill_stream;
-        body.epoch = static_cast<std::uint16_t>(cell >> 48);
-        body.next_sequence = cell & 0xffffffffffffull;
-        byte_writer w;
-        serialize(body, w);
-        for (int i = 0; i < 3; ++i) {
-            tbp->src_stack->send_control(tbp->rx_host->address(), drill_stream,
-                                         wire::control_type::stream_flush,
-                                         std::vector<std::uint8_t>(w.view().begin(),
-                                                                   w.view().end()));
-        }
-    });
+    eng.schedule_at(cfg.flush_at, [tbp = tb.get()] { send_flush(*tbp); });
+    if (cfg.flush2_at.ns > 0)
+        eng.schedule_at(cfg.flush2_at, [tbp = tb.get()] { send_flush(*tbp); });
 
     // --- the fault script ---
     // Snapshot first (same instant, scheduled earlier => runs earlier):
@@ -211,6 +253,41 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     // NAK still reach the dead node and are dropped at its ingress.
     tb->faults->fail_link_at(*tb->buf1_feed, cfg.fault_at + cfg.feed_cut_after);
 
+    // --- the kill-and-revive phase (ISSUE 7) ---
+    if (cfg.revive_at.ns > 0) {
+        // Software dies with the hardware: the blackout becomes a
+        // genuine kill (in-memory buffer, counters and repair queue are
+        // gone; the durable store drops its unsealed tail), the restore
+        // a genuine revive (archive reload + re-advertisement).
+        tb->faults->on_blackout(*tb->buf1,
+                                [tbp = tb.get()] { tbp->buf1_svc->crash(); });
+        tb->faults->on_restore(*tb->buf1, [tbp = tb.get()] {
+            tbp->buf1_svc->revive(tbp->rx_host->address());
+            // Rejoin the duplication group pruned at the feed cut, so
+            // second-wave clones flow into the revived tap.
+            tbp->duplication->add_subscriber(wire::experiments::iceberg,
+                                             tbp->buf1->address());
+        });
+
+        if (cfg.fault2_at.ns > 0) {
+            // The secondary dies too: from here on, only the revived
+            // primary can answer NAKs.
+            tb->faults->blackout_node(*tb->buf2, cfg.fault2_at);
+            tb->faults->fail_link_at(*tb->buf2_feed, cfg.fault2_at);
+            eng.schedule_at(cfg.fault2_at, [tbp = tb.get()] {
+                tbp->duplication->remove_subscriber(wire::experiments::iceberg,
+                                                    tbp->buf2->address());
+            });
+        }
+
+        tb->faults->repair_link_at(*tb->buf1_feed, cfg.revive_at);
+        tb->faults->restore_node(*tb->buf1, cfg.revive_at);
+
+        if (cfg.burst_ber > 0 && cfg.burst_duration.ns > 0)
+            tb->faults->corruption_burst(*tb->wan_backup, cfg.burst_at,
+                                         cfg.burst_duration, cfg.burst_ber);
+    }
+
     // --- recovery measurement ---
     tb->recovery = std::make_unique<telemetry::recovery_tracker>(eng, cfg.probe_interval);
     tb->recovery->arm(
@@ -222,6 +299,23 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
                 && tbp->rx->outstanding_gaps() == 0;
         },
         cfg.fault_at + cfg.probe_deadline);
+
+    if (cfg.revive_at.ns > 0 && cfg.fault2_at.ns > 0) {
+        tb->recovery2 =
+            std::make_unique<telemetry::recovery_tracker>(eng, cfg.probe_interval);
+        const std::uint64_t total = cfg.messages + cfg.messages2;
+        tb->recovery2->arm(
+            cfg.fault2_at,
+            [tbp = tb.get(), total] {
+                // Whole again, the hard way: the stream failed *back* to
+                // the revived primary, both waves arrived in full, and
+                // no gap is outstanding.
+                return tbp->rx->stats().buffer_failbacks >= 1
+                    && tbp->rx->stats().datagrams >= total
+                    && tbp->rx->outstanding_gaps() == 0;
+            },
+            cfg.fault2_at + cfg.probe_deadline);
+    }
 
     return tb;
 }
@@ -247,6 +341,12 @@ chaos_result summarize_chaos(chaos_testbed& tbr)
     r.recovered = tb->recovery->recovered();
     r.time_to_recover = tb->recovery->time_to_recover().value_or(sim_duration::zero());
     r.probes = tb->recovery->probes();
+    if (tb->recovery2) {
+        r.recovered2 = tb->recovery2->recovered();
+        r.time_to_recover2 =
+            tb->recovery2->time_to_recover().value_or(sim_duration::zero());
+        r.probes2 = tb->recovery2->probes();
+    }
 
     auto& t = r.report;
     t.set_columns({"metric", "value"});
@@ -279,6 +379,21 @@ chaos_result summarize_chaos(chaos_testbed& tbr)
     row("time_to_recover_ns",
         static_cast<std::uint64_t>(r.recovered ? r.time_to_recover.ns : 0));
     row("recovery_probes", r.probes);
+    // Persistence / kill-and-revive phase (all zero in the classic drill
+    // except buf1_persisted, which write-through always accumulates).
+    row("buf1_persisted", r.buf1.persisted);
+    row("buf1_persist_rejected", r.buf1.persist_rejected);
+    row("buf1_crashes", r.buf1.crashes);
+    row("buf1_tail_lost", r.buf1.tail_lost);
+    row("buf1_recovered_records", r.buf1.recovered_records);
+    row("buf1_revivals", r.buf1.revivals);
+    row("buf1_retransmitted", r.buf1.retransmitted);
+    row("buffer_failbacks", r.rx.buffer_failbacks);
+    row("fault_node_restores", r.faults.node_restores);
+    row("recovered2", r.recovered2 ? 1 : 0);
+    row("time_to_recover2_ns",
+        static_cast<std::uint64_t>(r.recovered2 ? r.time_to_recover2.ns : 0));
+    row("recovery2_probes", r.probes2);
     r.csv = t.csv();
 
     r.metrics_csv = tb->metrics.to_csv();
@@ -300,6 +415,17 @@ chaos_result summarize_chaos(chaos_testbed& tbr)
             r.traversed_backup =
                 tr.traversed(r.traced_sequence, tr.site("wan-backup"), cfg.fault_at.ns);
         }
+    }
+
+    // Capture the finished run into an archive blob for replay. Strictly
+    // post-run: the engine is idle, so recording cannot perturb the
+    // simulation it records.
+    if (cfg.record) {
+        telemetry::run_recorder rec("chaos", cfg.seed);
+        if (tb->tracer) rec.capture_trace(*tb->tracer);
+        rec.capture_metrics(tb->metrics);
+        rec.capture_report(r.csv);
+        r.recording = rec.finalize();
     }
     return r;
 }

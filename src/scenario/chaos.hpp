@@ -30,6 +30,7 @@
 #include "common/trace.hpp"
 #include "control/health_monitor.hpp"
 #include "control/planner.hpp"
+#include "dtn/durable_store.hpp"
 #include "mmtp/buffer_service.hpp"
 #include "mmtp/receiver.hpp"
 #include "mmtp/sender.hpp"
@@ -39,6 +40,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/run_recorder.hpp"
 
 #include <memory>
 #include <string>
@@ -85,7 +87,47 @@ struct chaos_config {
     /// Ring capacity in records (rounded up to a power of two). The
     /// default holds the whole drill without overwrites.
     std::size_t trace_capacity{1u << 17};
+
+    // --- kill-and-revive phase (disabled by default — zeros leave the
+    // classic drill byte-identical; use kill_revive_config()) ---
+    //
+    // buf1 always writes through a durable_store; with revive_at == 0
+    // that archive is simply never read back. When revive_at > 0 the
+    // fault hooks make the blackout a genuine kill (buf1's in-memory
+    // state dies, its unsealed archive tail is lost and counted) and the
+    // restore a genuine revive (reload the archive, re-advertise, serve
+    // NAKs for messages the — by then blacked-out — secondary never saw).
+    /// Records per archive chunk on buf1's store (the seal granularity:
+    /// smaller chunks = smaller unsealed-tail loss window).
+    std::uint32_t persist_chunk_records{64};
+    /// The secondary buffer (buf2) is blacked out and its feed cut here
+    /// (0 = never) — from now on only a revived buf1 can answer NAKs.
+    sim_time fault2_at{sim_time{0}};
+    /// buf1 is restored here (0 = kill-and-revive phase disabled): its
+    /// feed is repaired, the archive reloads, it re-advertises (the
+    /// receiver fails *back*) and rejoins the duplication group.
+    sim_time revive_at{sim_time{0}};
+    /// Second traffic wave, injected after the revive; its losses are
+    /// recoverable only from the revived buf1.
+    std::uint64_t messages2{0};
+    sim_time second_wave_at{sim_time{0}};
+    /// Corruption burst on the backup WAN span during the second wave —
+    /// the loss process the revived buffer repairs.
+    sim_time burst_at{sim_time{0}};
+    sim_duration burst_duration{sim_duration{0}};
+    double burst_ber{0.0};
+    /// End-of-window flush for the second wave (0 = none).
+    sim_time flush2_at{sim_time{0}};
+    /// Capture the finished run (trace + metrics + report) into
+    /// chaos_result::recording for archive-based replay.
+    bool record{false};
 };
+
+/// The chaos drill plus the kill-and-revive phase: buf2 dies at 25 ms,
+/// buf1 revives from its archive at 30 ms, a 500-message second wave
+/// rides a corruption burst on the backup span, and the drill ends whole
+/// — 0 lost, 0 duplicated — with the revived buffer serving every repair.
+chaos_config kill_revive_config();
 
 struct chaos_testbed {
     netsim::network net;
@@ -102,6 +144,12 @@ struct chaos_testbed {
     netsim::link* wan_primary{nullptr};
     netsim::link* wan_backup{nullptr};
     netsim::link* buf1_feed{nullptr};
+    netsim::link* buf2_feed{nullptr};
+
+    /// buf1's modeled disk: owned here (not by the service) so it
+    /// survives the crash()/revive() cycle, like a disk survives a
+    /// power cut.
+    std::unique_ptr<dtn::durable_store> buf1_store;
 
     std::unique_ptr<core::stack> src_stack;
     std::unique_ptr<core::sender> tx;
@@ -120,6 +168,9 @@ struct chaos_testbed {
     std::unique_ptr<control::health_monitor> health;
     std::unique_ptr<netsim::fault_scheduler> faults;
     std::unique_ptr<telemetry::recovery_tracker> recovery;
+    /// Second tracker: armed at fault2_at, healthy when every message of
+    /// both waves has been delivered and no gap is outstanding.
+    std::unique_ptr<telemetry::recovery_tracker> recovery2;
 
     /// Flight recorder (installed for the testbed's lifetime when
     /// cfg.trace) and the run's metrics registry.
@@ -156,6 +207,10 @@ struct chaos_result {
     bool recovered{false};
     sim_duration time_to_recover{sim_duration::zero()};
     std::uint64_t probes{0};
+    /// Kill-and-revive phase outcome (false/zero when disabled).
+    bool recovered2{false};
+    sim_duration time_to_recover2{sim_duration::zero()};
+    std::uint64_t probes2{0};
 
     /// The run's telemetry as a table (integer cells only, so rendering
     /// is deterministic) and its CSV bytes for run-to-run comparison.
@@ -171,6 +226,11 @@ struct chaos_result {
     bool traversed_backup{false};
     /// Metrics registry snapshot (integer-only, deterministic bytes).
     std::string metrics_csv;
+
+    /// Archive blob capturing the whole run — wire events, metrics,
+    /// report — when chaos_config::record was set (else empty). Feed it
+    /// to telemetry::run_replayer to re-derive metrics_csv byte-for-byte.
+    std::vector<std::uint8_t> recording;
 };
 
 /// Summarizes an already-run testbed (drivers separate build/run/report).

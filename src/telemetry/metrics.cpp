@@ -279,6 +279,8 @@ void register_receiver_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("receiver_nak_retries", base, [rp] { return rp->stats().nak_retries; });
     reg.add_probe("receiver_buffer_failovers", base,
                   [rp] { return rp->stats().buffer_failovers; });
+    reg.add_probe("receiver_buffer_failbacks", base,
+                  [rp] { return rp->stats().buffer_failbacks; });
     reg.add_probe("receiver_given_up", base, [rp] { return rp->stats().given_up; });
     reg.add_probe("receiver_mode_shifts_seen", base,
                   [rp] { return rp->stats().mode_shifts_seen; });
@@ -308,6 +310,14 @@ void register_buffer_metrics(metrics_registry& reg, const std::string& host,
                   [bp] { return bp->stats().retransmit_dedup; });
     reg.add_probe("buffer_retransmit_queue_peak", base,
                   [bp] { return bp->stats().retransmit_queue_peak; });
+    reg.add_probe("buffer_persisted", base, [bp] { return bp->stats().persisted; });
+    reg.add_probe("buffer_persist_rejected", base,
+                  [bp] { return bp->stats().persist_rejected; });
+    reg.add_probe("buffer_crashes", base, [bp] { return bp->stats().crashes; });
+    reg.add_probe("buffer_tail_lost", base, [bp] { return bp->stats().tail_lost; });
+    reg.add_probe("buffer_recovered_records", base,
+                  [bp] { return bp->stats().recovered_records; });
+    reg.add_probe("buffer_revivals", base, [bp] { return bp->stats().revivals; });
 }
 
 void register_priority_queue_metrics(metrics_registry& reg, const std::string& link_name,

@@ -1,0 +1,105 @@
+// run_recorder.hpp — full-run record/replay through the archive container.
+//
+// SimBricks-style capture: after a deterministic run finishes, the
+// recorder archives everything the run observed — the flight recorder's
+// wire-event ring (with its interned site table), the metrics registry
+// snapshot, and the human-readable report — into one archive blob. The
+// replayer reopens the blob and re-drives consumers without re-running
+// the simulation: it re-renders the metrics CSV byte-identically,
+// replays wire events in order, and can rebuild a flight_recorder whose
+// format_timeline output matches the live run's. Recorded runs become a
+// corpus: offline analysis, regression diffs, and perf baselines all
+// read the same blobs (ROADMAP: "record full runs — wire traffic +
+// telemetry — into archives for deterministic replay").
+//
+// Capture is strictly post-run — the recorder never touches the engine,
+// so recording cannot perturb the simulation it records.
+#pragma once
+
+#include "common/trace.hpp"
+#include "daq/archive.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmtp::telemetry {
+
+/// Reserved dataset ids (top of the experiment-id space; real experiment
+/// ids are (exp << 12) | slice with exp <= 15, nowhere near these).
+constexpr wire::experiment_id run_ds_wire = 0xffff0001;
+constexpr wire::experiment_id run_ds_metrics = 0xffff0002;
+constexpr wire::experiment_id run_ds_report = 0xffff0003;
+constexpr wire::experiment_id run_ds_sites = 0xffff0004;
+
+/// One replayed wire event (a trace::record, archive-round-tripped).
+struct replayed_event {
+    std::int64_t at_ns{0};
+    std::uint64_t packet_id{0};
+    std::uint64_t arg{0};
+    std::uint32_t site{0};
+    trace::hop kind{trace::hop::link_enqueue};
+    trace::reason why{trace::reason::none};
+};
+
+class run_recorder {
+public:
+    run_recorder(const std::string& scenario, std::uint64_t seed);
+
+    /// Archives the surviving ring events and the full site table.
+    void capture_trace(const trace::flight_recorder& fr);
+
+    /// Archives a metrics snapshot (row order = snapshot order, which is
+    /// already the canonical sorted order).
+    void capture_metrics(const metrics_registry& reg);
+
+    /// Archives the rendered report/summary text verbatim.
+    void capture_report(const std::string& csv);
+
+    /// Seals everything into the blob. The recorder is spent afterwards.
+    std::vector<std::uint8_t> finalize();
+
+private:
+    daq::archive_writer writer_;
+    std::uint64_t wire_events_{0};
+    std::uint64_t metrics_rows_{0};
+};
+
+class run_replayer {
+public:
+    /// nullopt on malformed blobs (delegates to archive_reader's checks).
+    static std::optional<run_replayer> open(std::vector<std::uint8_t> blob);
+
+    std::string scenario() const;
+    std::uint64_t seed() const;
+
+    /// Re-renders the recorded metrics snapshot as the canonical
+    /// `metric,field,value` CSV — byte-identical to the live run's.
+    std::string metrics_csv() const;
+
+    /// The recorded report text (empty if none was captured).
+    std::string report_csv() const;
+
+    /// Replays every recorded wire event, oldest first.
+    void replay_wire(const std::function<void(const replayed_event&)>& fn) const;
+    std::vector<replayed_event> wire_events() const;
+
+    /// Rebuilds a flight recorder from the recording: re-interns the
+    /// site table in id order and re-emits every event, so
+    /// format_timeline / message_timeline behave as they did live.
+    /// `fr` must be freshly constructed with capacity >= the event count.
+    void rebuild_flight_recorder(trace::flight_recorder& fr) const;
+
+    /// Integrity check: recorded counts match the archived attributes.
+    bool verify() const;
+
+private:
+    explicit run_replayer(daq::archive_reader reader) : reader_(std::move(reader)) {}
+
+    daq::archive_reader reader_;
+};
+
+} // namespace mmtp::telemetry

@@ -153,6 +153,110 @@ TEST(archive, corruption_detected_at_open)
     EXPECT_TRUE(archive_reader::open(blob).has_value());
 }
 
+TEST(archive_limits, oversize_records_are_rejected_and_counted)
+{
+    archive_limits limits;
+    limits.max_record_bytes = 100;
+    archive_writer w(limits);
+    const auto exp = wire::make_experiment_id(1, 0);
+
+    EXPECT_TRUE(w.append(exp, make_record(0, 100))); // boundary: accepted
+    EXPECT_FALSE(w.append(exp, make_record(1, 101)));
+    EXPECT_FALSE(w.append(exp, make_record(2, 4096)));
+    EXPECT_EQ(w.stats().appended, 1u);
+    EXPECT_EQ(w.stats().rejected_oversize, 2u);
+    EXPECT_EQ(w.records_written(), 1u);
+
+    // The writer stays usable and the blob holds only the accepted record.
+    EXPECT_TRUE(w.append(exp, make_record(3, 50)));
+    const auto blob = w.finalize();
+    const auto r = archive_reader::open(blob);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->record_count(exp), 2u);
+}
+
+TEST(archive_limits, chunk_cap_bounds_each_dataset)
+{
+    archive_limits limits;
+    limits.chunk_records = 4;
+    limits.max_chunks_per_dataset = 2; // 8 records max per dataset
+    archive_writer w(limits);
+    const auto a = wire::make_experiment_id(1, 0);
+    const auto b = wire::make_experiment_id(2, 0);
+
+    for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(w.append(a, make_record(i)));
+    EXPECT_FALSE(w.append(a, make_record(8))); // dataset a is full
+    EXPECT_FALSE(w.append(a, make_record(9)));
+    EXPECT_EQ(w.stats().rejected_chunk_cap, 2u);
+
+    // Another dataset has its own budget.
+    EXPECT_TRUE(w.append(b, make_record(0)));
+
+    const auto blob = w.finalize();
+    const auto r = archive_reader::open(blob);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->record_count(a), 8u);
+    EXPECT_EQ(r->record_count(b), 1u);
+    const auto records = r->read_all(a);
+    ASSERT_EQ(records.size(), 8u);
+    EXPECT_EQ(records.back().sequence, 7u); // the overflow never landed
+}
+
+TEST(archive_limits, dataset_cap_bounds_dataset_creation)
+{
+    archive_limits limits;
+    limits.max_datasets = 2;
+    archive_writer w(limits);
+    const auto a = wire::make_experiment_id(1, 0);
+    const auto b = wire::make_experiment_id(2, 0);
+    const auto c = wire::make_experiment_id(3, 0);
+
+    EXPECT_TRUE(w.append(a, make_record(0)));
+    EXPECT_TRUE(w.append(b, make_record(0)));
+    EXPECT_FALSE(w.append(c, make_record(0))); // would create a third
+    EXPECT_EQ(w.stats().rejected_dataset_cap, 1u);
+    // Existing datasets still accept.
+    EXPECT_TRUE(w.append(a, make_record(1)));
+
+    const auto blob = w.finalize();
+    const auto r = archive_reader::open(blob);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->dataset_ids().size(), 2u);
+    EXPECT_EQ(r->record_count(c), 0u);
+}
+
+TEST(archive_limits, append_accounting_identities_hold)
+{
+    archive_limits limits;
+    limits.chunk_records = 4;
+    limits.max_record_bytes = 64;
+    limits.max_chunks_per_dataset = 3;
+    archive_writer w(limits);
+    const auto exp = wire::make_experiment_id(1, 0);
+
+    std::uint64_t accepted = 0;
+    for (std::uint64_t i = 0; i < 20; ++i)
+        if (w.append(exp, make_record(i, i % 5 == 0 ? 80 : 16))) accepted++;
+
+    const auto& s = w.stats();
+    EXPECT_EQ(s.appended, accepted);
+    EXPECT_EQ(s.appended, w.records_written());
+    EXPECT_EQ(s.appended, w.sealed_records() + w.open_records());
+    EXPECT_GT(s.rejected_oversize, 0u);
+    EXPECT_GT(s.rejected_chunk_cap, 0u);
+    EXPECT_EQ(s.appended + s.rejected_oversize + s.rejected_chunk_cap
+                  + s.rejected_dataset_cap,
+              20u);
+
+    // Sealing is observable: every full chunk was counted as it sealed,
+    // and finalize seals the remainder.
+    EXPECT_EQ(s.chunks_sealed, w.sealed_records() / limits.chunk_records);
+    const auto blob = w.finalize();
+    const auto r = archive_reader::open(blob);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->record_count(exp), accepted);
+}
+
 TEST(archive, transcodes_materialized_wib_frames_losslessly)
 {
     // end-to-end shape of §6 (2): detector frames -> messages -> archive
