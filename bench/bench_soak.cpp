@@ -1,0 +1,270 @@
+// bench_soak — the soak-scale hot-path microbenchmark: per-packet cost
+// must be flat from 10 to 1000 flows/streams.
+//
+// The facility soak admits hundreds of planner flows and terminates
+// dozens of receiver streams concurrently; before the hashed-table
+// migration both paid an O(log n) tree walk per packet. This bench pins
+// the O(1) claim at three population sizes:
+//
+//   planner  churn_cycle_ns    admit+release round trip with N resident
+//                              flows (the admission/teardown churn path)
+//            flow_lookup_ns    flow(id) — the per-packet budget lookup
+//            available_ns      available(link) — the admission probe
+//   receiver msg_ns            full per-datagram delivery path (stack →
+//                              sequencing → gap tracking) across N
+//                              in-order streams
+//            epoch_lookup_ns   last_policy_epoch(experiment) — the
+//                              hashed per-arrival epoch table
+//
+// Flags: --check exits nonzero when any pure lookup (flow, available,
+// last_policy_epoch) allocates — the CI perf-smoke invariant. Flatness
+// is reported, not gated (CI machines are too noisy for a ratio gate).
+//
+// Emits machine-readable JSON to BENCH_soak.json (and stdout).
+
+#include "control/planner.hpp"
+#include "mmtp/receiver.hpp"
+#include "mmtp/stack.hpp"
+#include "netsim/network.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+// ---------------------------------------------------------------- alloc hook
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+void* operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace mmtp;
+using namespace mmtp::netsim;
+
+double ns_since(std::chrono::steady_clock::time_point t0, std::uint64_t ops)
+{
+    const auto dt = std::chrono::duration<double, std::nano>(
+        std::chrono::steady_clock::now() - t0);
+    return dt.count() / static_cast<double>(ops);
+}
+
+// ------------------------------------------------------------------ planner
+
+struct planner_row {
+    unsigned flows;
+    double churn_cycle_ns;
+    double flow_lookup_ns;
+    double available_ns;
+    std::uint64_t lookup_allocs;
+};
+
+planner_row run_planner(unsigned n_flows)
+{
+    control::capacity_planner p;
+    p.register_link("daq", data_rate::from_gbps(400));
+    p.register_link("wan", data_rate::from_gbps(400));
+    p.register_link("backup", data_rate::from_gbps(400));
+
+    // N resident flows — the population the lookups run against.
+    std::vector<control::flow_id> resident;
+    resident.reserve(n_flows);
+    for (unsigned i = 0; i < n_flows; ++i) {
+        const auto id = p.admit({"daq", "wan"}, data_rate::from_mbps(10));
+        if (id) resident.push_back(*id);
+    }
+
+    constexpr std::uint64_t churn_ops = 200000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < churn_ops; ++i) {
+        const auto id = p.admit({"daq", "wan"}, data_rate::from_mbps(10));
+        p.release(*id);
+    }
+    const double churn_ns = ns_since(t0, churn_ops);
+
+    constexpr std::uint64_t lookup_ops = 2000000;
+    volatile std::uint64_t sink = 0;
+
+    const auto allocs0 = g_allocs.load(std::memory_order_relaxed);
+    t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < lookup_ops; ++i) {
+        const auto* f = p.flow(resident[i % resident.size()]);
+        sink = sink + f->rate.bits_per_sec;
+    }
+    const double flow_ns = ns_since(t0, lookup_ops);
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < lookup_ops; ++i)
+        sink = sink + p.available("wan").bits_per_sec;
+    const double avail_ns = ns_since(t0, lookup_ops);
+    const auto lookup_allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+
+    return {n_flows, churn_ns, flow_ns, avail_ns, lookup_allocs};
+}
+
+// ----------------------------------------------------------------- receiver
+
+struct receiver_row {
+    unsigned streams;
+    double msg_ns;
+    double epoch_lookup_ns;
+    std::uint64_t lookup_allocs;
+};
+
+/// Drives `total` in-order datagrams round-robin across N streams
+/// through a real stack pair, so the measured path is the one the soak
+/// runs: parse → dedup → sequencing/gap tracking → delivery callback.
+receiver_row run_receiver(unsigned n_streams, std::uint64_t total)
+{
+    network net(1);
+    auto& src = net.add_host("src");
+    auto& dst = net.add_host("dst");
+    link_config fat;
+    fat.rate = data_rate::from_gbps(400);
+    net.connect(src, dst, fat);
+    net.compute_routes();
+    core::stack s_src(src, net.ids());
+    core::stack s_dst(dst, net.ids());
+    core::receiver rx(s_dst);
+
+    // Stream ids shaped like the soak's: experiment number × slice.
+    std::vector<wire::experiment_id> ids;
+    std::vector<std::uint64_t> next_seq(n_streams, 0);
+    ids.reserve(n_streams);
+    for (unsigned i = 0; i < n_streams; ++i)
+        ids.push_back(wire::make_experiment_id(1 + i % 5, i / 5));
+
+    // One self-rescheduling emission chain (soak idiom): one pending
+    // event, not `total` pre-scheduled closures.
+    struct emitter {
+        network* net;
+        core::stack* s;
+        wire::ipv4_addr dst;
+        wire::ipv4_addr buffer;
+        std::vector<wire::experiment_id>* ids;
+        std::vector<std::uint64_t>* next_seq;
+        std::uint64_t left;
+        std::uint64_t i{0};
+
+        void fire()
+        {
+            if (left-- == 0) return;
+            const auto s_idx = i % ids->size();
+            wire::header h;
+            h.experiment = (*ids)[s_idx];
+            h.m.set(wire::feature::sequencing).set(wire::feature::retransmission);
+            h.sequencing = wire::sequencing_field{(*next_seq)[s_idx]++, 0};
+            h.retransmission = wire::retransmission_field{buffer};
+            s->send_datagram(dst, h, {}, 512);
+            ++i;
+            net->sim().schedule_in(sim_duration{20}, [this] { fire(); });
+        }
+    };
+    emitter em{&net, &s_src, dst.address(), src.address(), &ids, &next_seq, total};
+    net.sim().schedule_at(sim_time{0}, [&em] { em.fire(); });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    net.sim().run();
+    const double msg_ns = ns_since(t0, total);
+    if (rx.stats().datagrams != total)
+        std::fprintf(stderr, "WARNING: receiver saw %llu of %llu datagrams\n",
+                     static_cast<unsigned long long>(rx.stats().datagrams),
+                     static_cast<unsigned long long>(total));
+
+    constexpr std::uint64_t lookup_ops = 2000000;
+    volatile std::uint64_t sink = 0;
+    const auto allocs0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < lookup_ops; ++i)
+        sink = sink + rx.last_policy_epoch(ids[i % ids.size()]);
+    const double epoch_ns = ns_since(t1, lookup_ops);
+    const auto lookup_allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+
+    return {n_streams, msg_ns, epoch_ns, lookup_allocs};
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool check = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--check") == 0) check = true;
+
+    constexpr unsigned sizes[] = {10, 100, 1000};
+    planner_row pl[3];
+    receiver_row rc[3];
+    for (int i = 0; i < 3; ++i) {
+        pl[i] = run_planner(sizes[i]);
+        rc[i] = run_receiver(sizes[i], 200000);
+    }
+
+    char buf[4096];
+    int off = std::snprintf(buf, sizeof buf,
+                            "{\n  \"bench\": \"soak_hotpath\",\n  \"rows\": [\n");
+    for (int i = 0; i < 3; ++i) {
+        off += std::snprintf(
+            buf + off, sizeof buf - static_cast<std::size_t>(off),
+            "    {\"flows\": %u, \"planner_churn_cycle_ns\": %.1f, "
+            "\"planner_flow_lookup_ns\": %.1f, \"planner_available_ns\": %.1f, "
+            "\"receiver_msg_ns\": %.1f, \"receiver_epoch_lookup_ns\": %.1f, "
+            "\"lookup_allocs\": %llu}%s\n",
+            pl[i].flows, pl[i].churn_cycle_ns, pl[i].flow_lookup_ns,
+            pl[i].available_ns, rc[i].msg_ns, rc[i].epoch_lookup_ns,
+            static_cast<unsigned long long>(pl[i].lookup_allocs
+                                            + rc[i].lookup_allocs),
+            i + 1 < 3 ? "," : "");
+    }
+    std::snprintf(buf + off, sizeof buf - static_cast<std::size_t>(off),
+                  "  ],\n  \"flatness\": {\n"
+                  "    \"planner_churn_1000_vs_10\": %.2f,\n"
+                  "    \"planner_flow_lookup_1000_vs_10\": %.2f,\n"
+                  "    \"receiver_msg_1000_vs_10\": %.2f\n"
+                  "  }\n}\n",
+                  pl[2].churn_cycle_ns / pl[0].churn_cycle_ns,
+                  pl[2].flow_lookup_ns / pl[0].flow_lookup_ns,
+                  rc[2].msg_ns / rc[0].msg_ns);
+
+    std::fputs(buf, stdout);
+    if (std::FILE* f = std::fopen("BENCH_soak.json", "w")) {
+        std::fputs(buf, f);
+        std::fclose(f);
+    }
+
+    if (check) {
+        std::uint64_t allocs = 0;
+        for (int i = 0; i < 3; ++i) allocs += pl[i].lookup_allocs + rc[i].lookup_allocs;
+        if (allocs > 0) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: %llu allocations on the pure-lookup paths "
+                         "(planner flow/available, receiver epoch)\n",
+                         static_cast<unsigned long long>(allocs));
+            return 1;
+        }
+        std::fputs("check passed: planner/receiver lookups allocation-free at "
+                   "10/100/1000 flows\n",
+                   stdout);
+    }
+    return 0;
+}

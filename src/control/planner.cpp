@@ -1,5 +1,7 @@
 #include "control/planner.hpp"
 
+#include <algorithm>
+
 namespace mmtp::control {
 
 void capacity_planner::register_link(const link_id& id, data_rate capacity, double headroom)
@@ -65,7 +67,9 @@ void capacity_planner::retry_deferred()
 {
     // FIFO with head-of-line blocking: requests behind one that still
     // cannot be admitted keep their place (admission order is part of
-    // the capacity plan).
+    // the capacity plan). The deque makes each admitted head O(1) to
+    // retire, and a blocked head exits in O(1) — churn never rescans
+    // the queue.
     while (!deferred_.empty()) {
         auto& head = deferred_.front();
         if (path_gated(head.path)) return;
@@ -73,7 +77,7 @@ void capacity_planner::retry_deferred()
         if (!id) return;
         stats_.deferred_admitted++;
         auto cb = std::move(head.on_admitted);
-        deferred_.erase(deferred_.begin());
+        deferred_.pop_front();
         if (cb) cb(*id);
     }
 }
@@ -85,11 +89,14 @@ flow_id capacity_planner::admit_unchecked(const std::vector<link_id>& path, data
 
 flow_id capacity_planner::record(const std::vector<link_id>& path, data_rate rate)
 {
-    for (const auto& id : path) {
-        auto it = links_.find(id);
-        if (it != links_.end()) it->second.committed_bits += rate.bits_per_sec;
-    }
     const auto id = next_flow_++;
+    for (const auto& lid : path) {
+        auto it = links_.find(lid);
+        if (it != links_.end()) {
+            it->second.committed_bits += rate.bits_per_sec;
+            it->second.crossing[id]++;
+        }
+    }
     flows_[id] = admission{id, rate, path};
     return id;
 }
@@ -103,6 +110,11 @@ void capacity_planner::uncommit(const admission& flow)
                 lit->second.committed_bits -= flow.rate.bits_per_sec;
             else
                 lit->second.committed_bits = 0;
+            // Drop one crossing count per path hop — O(1) per hop, so
+            // teardown cost does not grow with the link's population.
+            auto& xs = lit->second.crossing;
+            if (auto x = xs.find(flow.id); x != xs.end() && --x->second == 0)
+                xs.erase(x);
         }
     }
 }
@@ -114,6 +126,9 @@ void capacity_planner::release(flow_id id)
     uncommit(it->second);
     backups_.erase(id);
     flows_.erase(it);
+    // Freed capacity may unblock the deferred queue's head; the retry is
+    // O(1) when it does not (head gated or still short on budget).
+    retry_deferred();
 }
 
 const admission* capacity_planner::flow(flow_id id) const
@@ -142,16 +157,15 @@ void capacity_planner::handle_link_down(const link_id& id)
     lit->second.up = false;
     stats_.link_failures++;
 
-    // Collect affected flows first: reroutes mutate flows_ and budgets.
+    // Incremental recomputation: the per-link crossing index already
+    // names every affected flow — no full flow-table scan. Snapshot the
+    // keys (reroutes mutate the index and budgets) and sort so reroute
+    // callbacks fire in ascending flow-id order, exactly as the old
+    // ordered-map scan did.
     std::vector<flow_id> affected;
-    for (const auto& [fid, flow] : flows_) {
-        for (const auto& lid : flow.path) {
-            if (lid == id) {
-                affected.push_back(fid);
-                break;
-            }
-        }
-    }
+    affected.reserve(lit->second.crossing.size());
+    for (const auto& [fid, hops] : lit->second.crossing) affected.push_back(fid);
+    std::sort(affected.begin(), affected.end());
 
     for (const auto fid : affected) {
         auto fit = flows_.find(fid);
@@ -175,8 +189,11 @@ void capacity_planner::handle_link_down(const link_id& id)
                 }
             }
             if (rerouted) {
-                for (const auto& lid : backup)
-                    links_[lid].committed_bits += fit->second.rate.bits_per_sec;
+                for (const auto& lid : backup) {
+                    auto& b = links_[lid];
+                    b.committed_bits += fit->second.rate.bits_per_sec;
+                    b.crossing[fid]++;
+                }
                 fit->second.path = backup;
                 backups_.erase(bit); // a backup protects against one failure
             }

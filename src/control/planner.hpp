@@ -13,10 +13,11 @@
 #include "common/units.hpp"
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace mmtp::control {
@@ -120,6 +121,12 @@ private:
         std::uint64_t committed_bits{0};
         bool up{true};
         bool admissible{true};
+        /// Flows crossing this link, keyed by id with a per-path-hop
+        /// count (a path may cross a link twice). Hashed so release()
+        /// stays O(path) under soak churn instead of scanning every
+        /// flow on the link; failure handling sorts its snapshot so
+        /// reroute callbacks keep ascending-flow-id order.
+        std::unordered_map<flow_id, std::uint32_t> crossing;
     };
 
     struct deferred_admission {
@@ -133,10 +140,15 @@ private:
     bool path_gated(const std::vector<link_id>& path) const;
     void retry_deferred();
 
-    std::map<link_id, link_budget> links_;
-    std::map<flow_id, admission> flows_;
-    std::map<flow_id, std::vector<link_id>> backups_;
-    std::vector<deferred_admission> deferred_;
+    // Hot-path tables are hashed: per-packet-scale admit/release/lookup
+    // must not pay O(log n) tree walks at soak flow counts. Nothing
+    // iterates these containers — order-sensitive work (failure
+    // handling) goes through the per-link `crossing` index instead, so
+    // hash iteration order can never leak into telemetry.
+    std::unordered_map<link_id, link_budget> links_;
+    std::unordered_map<flow_id, admission> flows_;
+    std::unordered_map<flow_id, std::vector<link_id>> backups_;
+    std::deque<deferred_admission> deferred_;
     flow_id next_flow_{1};
     planner_stats stats_;
     reroute_cb on_reroute_;

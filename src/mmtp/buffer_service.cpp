@@ -3,6 +3,8 @@
 #include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
+#include <algorithm>
+
 namespace mmtp::core {
 
 buffer_service::buffer_service(stack& st, buffer_service_config cfg)
@@ -137,6 +139,25 @@ void buffer_service::poll_pressure()
     if (cfg_.occupancy_high_bytes == 0) return;
     buffer_.sweep(stack_.sim().now());
     check_pressure(0, 0);
+    prune_signals();
+}
+
+void buffer_service::prune_signals()
+{
+    // Long-run memory bound: a signal record only influences suppression
+    // while it belongs to the current engagement or is still inside the
+    // timing.hold quiet period. Anything older is dead state — over a
+    // soak with churning upstream sources it would otherwise grow one
+    // entry per source forever.
+    const auto now = stack_.sim().now();
+    const auto pruned = std::erase_if(signalled_, [&](const auto& kv) {
+        const auto& s = kv.second;
+        const bool stale_epoch = !pressure_engaged_ || s.epoch != pressure_epoch_;
+        const bool hold_elapsed = cfg_.timing.hold.ns == 0
+            || (now - s.last).ns >= cfg_.timing.hold.ns;
+        return stale_epoch && hold_elapsed;
+    });
+    stats_.signals_pruned += pruned;
 }
 
 void buffer_service::handle_nak(const wire::nak_body& nak, wire::experiment_id experiment,
@@ -228,11 +249,21 @@ void buffer_service::pump_retransmits()
 
 void buffer_service::flush(unsigned copies)
 {
+    // Emit markers in ascending experiment order: seq_counters_ is
+    // hashed, and packet emission order is telemetry-observable — the
+    // walk must not depend on hash iteration order.
+    std::vector<std::uint32_t> experiments;
+    experiments.reserve(seq_counters_.size());
     for (const auto& [experiment, next_seq] : seq_counters_) {
+        (void)next_seq;
+        experiments.push_back(experiment);
+    }
+    std::sort(experiments.begin(), experiments.end());
+    for (const auto experiment : experiments) {
         wire::stream_flush_body body;
         body.experiment = experiment;
         body.epoch = 0;
-        body.next_sequence = next_seq;
+        body.next_sequence = seq_counters_[experiment];
         byte_writer w;
         serialize(body, w);
         for (unsigned i = 0; i < copies; ++i) {

@@ -88,6 +88,9 @@ struct buffer_service_stats {
     std::uint64_t pressure_engagements{0};
     std::uint64_t pressure_releases{0};
     std::uint64_t pressure_signals{0};
+    /// Expired per-source signal-suppression records dropped by
+    /// poll_pressure() — bounds signalled_ over long runs.
+    std::uint64_t signals_pruned{0};
     /// NAKed sequences absorbed because an identical retransmission was
     /// still waiting in the paced queue.
     std::uint64_t retransmit_dedup{0};
@@ -152,6 +155,7 @@ private:
                     wire::ipv4_addr src);
     std::uint64_t next_sequence(wire::experiment_id experiment);
     void check_pressure(wire::ipv4_addr src, wire::experiment_id experiment);
+    void prune_signals();
     void send_retransmit(wire::ipv4_addr to, const dtn::buffered_datagram& entry);
     void pump_retransmits();
 

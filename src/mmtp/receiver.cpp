@@ -3,6 +3,8 @@
 #include "common/trace.hpp"
 #include "netsim/engine.hpp"
 
+#include <algorithm>
+
 namespace mmtp::core {
 
 receiver::receiver(stack& st, receiver_config cfg) : stack_(st), cfg_(cfg)
@@ -12,13 +14,21 @@ receiver::receiver(stack& st, receiver_config cfg) : stack_(st), cfg_(cfg)
         [this](const wire::stream_flush_body& f) { on_flush(f); });
 }
 
+receiver::stream_state& receiver::stream(const stream_key& k)
+{
+    auto [it, inserted] = streams_.try_emplace(k);
+    if (inserted) stream_order_.push_back(k);
+    return it->second;
+}
+
 void receiver::on_flush(const wire::stream_flush_body& f)
 {
     // End-of-window marker: sequences up to f.next_sequence exist, so any
     // of them we have not seen are losses — including tail losses no
     // later data arrival would ever reveal.
     const stream_key k{f.experiment, f.epoch};
-    auto& st = streams_[k];
+    auto& st = stream(k);
+    st.last_activity = stack_.sim().now();
     if (f.next_sequence > st.highest) st.highest = f.next_sequence;
     st.base = st.received.next_missing(st.base);
     if (st.base < st.highest && !st.check_scheduled)
@@ -29,12 +39,35 @@ std::uint64_t receiver::outstanding_gaps() const
 {
     std::uint64_t total = 0;
     for (const auto& [k, s] : streams_) {
+        (void)k;
         for (const auto& [start, end] : s.received.gaps(s.base, s.highest)) {
             (void)start;
             total += end - start;
         }
     }
     return total;
+}
+
+std::size_t receiver::prune_idle(sim_duration idle_for)
+{
+    const auto now = stack_.sim().now();
+    std::size_t retired = 0;
+    std::erase_if(stream_order_, [&](const stream_key& k) {
+        auto it = streams_.find(k);
+        if (it == streams_.end()) return true; // stale index entry
+        const auto& st = it->second;
+        // Only complete streams retire: every sequence resolved, no gap
+        // records, no pending check — so no repair traffic can still be
+        // heading our way when the dedup state goes.
+        if (st.check_scheduled || !st.gaps.empty() || st.base < st.highest)
+            return false;
+        if ((now - st.last_activity).ns < idle_for.ns) return false;
+        streams_.erase(it);
+        ++retired;
+        return true;
+    });
+    stats_.streams_retired += retired;
+    return retired;
 }
 
 void receiver::on_data(delivered_datagram&& d)
@@ -76,7 +109,8 @@ void receiver::on_data(delivered_datagram&& d)
 
     if (h.sequencing) {
         const stream_key k{h.experiment, h.sequencing->epoch};
-        auto& st = streams_[k];
+        auto& st = stream(k);
+        st.last_activity = now;
         const auto s = h.sequencing->sequence;
         // Track the stream's primary repair point as stamped on-path —
         // but while failed over, the fallback's own retransmissions must
@@ -135,7 +169,13 @@ void receiver::note_buffer_available(wire::ipv4_addr addr)
 {
     if (addr == 0) return;
     const auto now = stack_.sim().now();
-    for (auto& [k, st] : streams_) {
+    // Walk in first-seen order, not hash order: this loop emits failover
+    // trace records, and trace byte-identity across same-seed runs is a
+    // hard invariant.
+    for (const auto& k : stream_order_) {
+        auto sit = streams_.find(k);
+        if (sit == streams_.end()) continue;
+        auto& st = sit->second;
         if (!st.failed_over || st.buffer_addr != addr) continue;
         st.failed_over = false;
         stats_.buffer_failbacks++;
@@ -152,7 +192,7 @@ void receiver::note_buffer_available(wire::ipv4_addr addr)
 
 void receiver::schedule_check(const stream_key& k, sim_duration delay)
 {
-    auto& st = streams_[k];
+    auto& st = stream(k);
     st.check_scheduled = true;
     st.check_timer = stack_.sim().schedule_cancellable_in(
         delay, netsim::task_class::protocol, [this, k] { run_check(k); });

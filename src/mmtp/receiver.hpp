@@ -18,6 +18,8 @@
 
 #include <functional>
 #include <map>
+#include <unordered_map>
+#include <vector>
 
 namespace mmtp::core {
 
@@ -69,6 +71,10 @@ struct receiver_stats {
     /// previous arrival of the same experiment — runtime mode shifts
     /// (and stragglers of the old epoch) observed at the destination.
     std::uint64_t mode_shifts_seen{0};
+    /// Completed streams retired by prune_idle() — long-run memory stays
+    /// bounded instead of growing one stream_state per (experiment,
+    /// epoch) forever.
+    std::uint64_t streams_retired{0};
     histogram age_us;                 // age distribution of arrivals
     histogram recovery_latency_us;    // gap detected -> gap filled
 };
@@ -106,6 +112,19 @@ public:
     /// Sequences currently believed missing across all streams.
     std::uint64_t outstanding_gaps() const;
 
+    /// Streams with live sequence state (not yet retired).
+    std::size_t stream_count() const { return streams_.size(); }
+
+    /// Retires streams that are complete (no unresolved sequences, no
+    /// pending gap check) and have been idle for at least `idle_for`.
+    /// Returns the number retired (also accumulated in
+    /// stats().streams_retired). Only complete streams qualify, so no
+    /// NAK-requested retransmission can still be in flight toward a
+    /// retired stream; pick `idle_for` above the reorder/pacing horizon
+    /// so a straggling duplicate cannot arrive after its dedup state is
+    /// gone. Callers (scenario drivers) invoke this periodically.
+    std::size_t prune_idle(sim_duration idle_for);
+
     /// Policy epoch stamped on the most recent arrival of `experiment`
     /// (0 if none seen yet).
     std::uint8_t last_policy_epoch(wire::experiment_id experiment) const
@@ -119,6 +138,19 @@ private:
         wire::experiment_id experiment;
         std::uint16_t epoch;
         auto operator<=>(const stream_key&) const = default;
+    };
+    struct stream_key_hash {
+        std::size_t operator()(const stream_key& k) const
+        {
+            // splitmix64 over the packed (experiment, epoch) pair: cheap,
+            // and avalanches the low-entropy experiment ids across buckets.
+            std::uint64_t x =
+                (static_cast<std::uint64_t>(k.experiment) << 16) | k.epoch;
+            x += 0x9e3779b97f4a7c15ull;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            return static_cast<std::size_t>(x ^ (x >> 31));
+        }
     };
     struct gap_state {
         sim_time first_detected;
@@ -136,6 +168,7 @@ private:
         // Pending gap-check timer: cancelled when data closes every gap
         // before the grace period ends (the check would fire dead).
         netsim::engine::timer_handle check_timer;
+        sim_time last_activity{sim_time::zero()};
     };
 
     void on_data(delivered_datagram&& d);
@@ -143,12 +176,19 @@ private:
     void schedule_check(const stream_key& k, sim_duration delay);
     void run_check(const stream_key& k);
     sim_duration retry_interval(std::uint32_t attempts) const;
+    /// Lookup-or-create that keeps stream_order_ in sync.
+    stream_state& stream(const stream_key& k);
 
     stack& stack_;
     receiver_config cfg_;
     receiver_stats stats_;
-    std::map<stream_key, stream_state> streams_;
-    std::map<wire::experiment_id, std::uint8_t> policy_epochs_;
+    // Per-packet stream lookup is hashed (O(1) at soak stream counts).
+    // The hashed table is never iterated: every order-observable walk
+    // (failback trace records, gap sums) goes through stream_order_,
+    // the first-seen insertion order, which is seed-deterministic.
+    std::unordered_map<stream_key, stream_state, stream_key_hash> streams_;
+    std::vector<stream_key> stream_order_;
+    std::unordered_map<wire::experiment_id, std::uint8_t> policy_epochs_;
     wire::ipv4_addr fallback_buffer_{0};
     std::uint32_t trace_site_{0};
     datagram_cb on_datagram_;

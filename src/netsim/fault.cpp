@@ -43,15 +43,28 @@ void fault_scheduler::corruption_burst(link& l, sim_time at, sim_duration durati
     });
 }
 
+void fault_scheduler::dispatch_hooks(
+    std::map<const node*, std::vector<std::function<void()>>>& hooks, const node& n)
+{
+    // Fire from a snapshot: a hook may register or remove hooks mid-fire
+    // (a restore hook re-arming the next blackout, a teardown hook
+    // clearing itself), which mutates the live vector under iteration.
+    // The snapshot keeps dispatch well-defined: everything registered
+    // when the event fired runs exactly once; additions wait for the
+    // next event; removals do not abort the current round.
+    auto it = hooks.find(&n);
+    if (it == hooks.end()) return;
+    const auto snapshot = it->second;
+    for (const auto& fn : snapshot) fn();
+}
+
 void fault_scheduler::blackout_node(node& n, sim_time at)
 {
     eng_.schedule_at(at, [this, &n] {
         if (!n.powered()) return;
         stats_.node_blackouts++;
         n.set_powered(false);
-        auto it = blackout_hooks_.find(&n);
-        if (it != blackout_hooks_.end())
-            for (auto& fn : it->second) fn();
+        dispatch_hooks(blackout_hooks_, n);
     });
 }
 
@@ -61,9 +74,7 @@ void fault_scheduler::restore_node(node& n, sim_time at)
         if (n.powered()) return;
         stats_.node_restores++;
         n.set_powered(true);
-        auto it = restore_hooks_.find(&n);
-        if (it != restore_hooks_.end())
-            for (auto& fn : it->second) fn();
+        dispatch_hooks(restore_hooks_, n);
     });
 }
 
@@ -75,6 +86,12 @@ void fault_scheduler::on_blackout(node& n, std::function<void()> fn)
 void fault_scheduler::on_restore(node& n, std::function<void()> fn)
 {
     restore_hooks_[&n].push_back(std::move(fn));
+}
+
+void fault_scheduler::clear_hooks(node& n)
+{
+    blackout_hooks_.erase(&n);
+    restore_hooks_.erase(&n);
 }
 
 void fault_scheduler::blackout_window(node& n, sim_time at, sim_duration duration)

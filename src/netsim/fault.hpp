@@ -83,12 +83,25 @@ public:
     /// powered node and can send traffic. Use these to model software
     /// dying with the hardware: crash a buffer_service on blackout,
     /// revive it from its archive on restore.
+    ///
+    /// Re-entrancy: dispatch runs over a snapshot of the hook list, so a
+    /// hook may register further hooks or call clear_hooks() on any node
+    /// — including its own — mid-fire. Hooks added during dispatch fire
+    /// from the *next* matching event; hooks removed during dispatch
+    /// still finish the current snapshot.
     void on_blackout(node& n, std::function<void()> fn);
     void on_restore(node& n, std::function<void()> fn);
+
+    /// Drops every blackout and restore hook registered for `n` (safe to
+    /// call from inside a firing hook; see the re-entrancy note above).
+    void clear_hooks(node& n);
 
     const fault_stats& stats() const { return stats_; }
 
 private:
+    void dispatch_hooks(std::map<const node*, std::vector<std::function<void()>>>& hooks,
+                        const node& n);
+
     engine& eng_;
     fault_stats stats_;
     std::map<const node*, std::vector<std::function<void()>>> blackout_hooks_;

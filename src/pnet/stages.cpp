@@ -85,10 +85,11 @@ void mode_transition_stage::process(packet_context& ctx, element_state& state)
             // Req 8) — the pilot's elements "add a sequence number to
             // loss-recoverable streams" (§5.4). As in real P4 hardware the
             // register is a hash-indexed array: concurrent streams must
-            // not collide modulo its size for buffer prediction to hold.
+            // not collide modulo its size for buffer prediction to hold —
+            // seq_cell_of reduces modulo a prime so concurrent
+            // experiments cannot systematically alias (see stages.hpp).
             state.create_register("mode_seq", seq_register_cells);
-            auto& cell =
-                state.reg("mode_seq", h.experiment % seq_register_cells);
+            auto& cell = state.reg("mode_seq", seq_cell_of(h.experiment));
             wire::sequencing_field f;
             f.sequence = cell & 0xffffffffffffull;
             f.epoch = static_cast<std::uint16_t>(cell >> 48);

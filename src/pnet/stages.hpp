@@ -66,6 +66,25 @@ class mode_transition_stage final : public pipeline_stage {
 public:
     static constexpr std::size_t seq_register_cells = 1024;
 
+    /// Register cell assigned to a stream's sequence counter. Indexing
+    /// reduces modulo a *prime* below the register size: the experiment
+    /// id packs (experiment << 12) | slice, and because 4096 is a
+    /// multiple of a power-of-two register size, `id % 1024` collapses
+    /// to `slice % 1024` — every experiment pair sharing a slice number
+    /// would alias onto one counter, breaking per-stream sequencing and
+    /// the DTN's mirrored-counter prediction the moment two experiments
+    /// run concurrently. 4096 % 1021 = 12, so distinct experiments land
+    /// 12 cells apart and the facility's stream set (experiments 1..6,
+    /// a dozen slices each) is provably collision-free. Everything that
+    /// mirrors the element's counters (scenario flush helpers) must use
+    /// this, never a raw modulo.
+    static constexpr std::size_t seq_cell_of(wire::experiment_id id)
+    {
+        constexpr std::size_t prime = 1021;
+        static_assert(prime <= seq_register_cells);
+        return static_cast<std::size_t>(id) % prime;
+    }
+
     mode_transition_stage();
     void add_rule(mode_rule rule) { rules_.push_back(rule); }
 

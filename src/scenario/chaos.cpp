@@ -17,7 +17,7 @@ void send_flush(chaos_testbed& tb)
     auto& st = tb.tofino->state();
     st.create_register("mode_seq", pnet::mode_transition_stage::seq_register_cells);
     const auto cell =
-        st.reg("mode_seq", drill_stream % pnet::mode_transition_stage::seq_register_cells);
+        st.reg("mode_seq", pnet::mode_transition_stage::seq_cell_of(drill_stream));
     wire::stream_flush_body body;
     body.experiment = drill_stream;
     body.epoch = static_cast<std::uint16_t>(cell >> 48);

@@ -197,6 +197,57 @@ telemetry::table overload_driver::report(telemetry::metrics_registry& reg)
     return result().report;
 }
 
+// --- soak ----------------------------------------------------------------
+
+std::string soak_driver::describe() const
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(soak_experiments)
+        * cfg_.slices_per_experiment * cfg_.messages_per_stream;
+    return "facility soak: 5 experiments x "
+        + std::to_string(cfg_.slices_per_experiment) + " slices x "
+        + std::to_string(cfg_.messages_per_stream) + " messages ("
+        + std::to_string(total) + " total) under a fault-and-overload storm";
+}
+
+netsim::engine& soak_driver::build()
+{
+    tb_ = make_soak(cfg_);
+    return tb_->net.sim();
+}
+
+const soak_result& soak_driver::result()
+{
+    if (!result_) result_ = summarize_soak(*tb_);
+    return *result_;
+}
+
+telemetry::table soak_driver::report(telemetry::metrics_registry& reg)
+{
+    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_link_metrics(reg, "wan-primary", *tb_->wan_primary);
+    telemetry::register_link_metrics(reg, "wan-backup", *tb_->wan_backup);
+    telemetry::register_link_metrics(reg, "dtn2-feed", *tb_->dtn2_feed);
+    telemetry::register_planner_metrics(reg, tb_->planner,
+                                        {"daq", "wan-primary", "wan-backup"});
+    telemetry::register_health_metrics(reg, *tb_->health);
+    telemetry::register_element_metrics(reg, "tofino", *tb_->tofino);
+    telemetry::register_stack_metrics(reg, "dtn1", *tb_->dtn1_stack);
+    telemetry::register_stack_metrics(reg, "rx", *tb_->rx_stack);
+    telemetry::register_receiver_metrics(reg, "rx", *tb_->rx);
+    telemetry::register_buffer_metrics(reg, "dtn1", *tb_->dtn1_svc);
+    telemetry::register_buffer_metrics(reg, "dtn2", *tb_->dtn2_svc);
+    static const char* const engine_names[soak_experiments] = {"cms", "dune",
+                                                               "ecce", "mu2e",
+                                                               "rubin"};
+    for (std::size_t i = 0; i < soak_experiments; ++i) {
+        telemetry::register_policy_engine_metrics(reg, engine_names[i],
+                                                  *tb_->engines[i]);
+        telemetry::register_sender_metrics(reg, engine_names[i],
+                                           *tb_->senders[i]);
+    }
+    return result().report;
+}
+
 // --- shapeshift ----------------------------------------------------------
 
 std::string shapeshift_driver::describe() const

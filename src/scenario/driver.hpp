@@ -24,6 +24,7 @@
 #include "scenario/overload.hpp"
 #include "scenario/pilot.hpp"
 #include "scenario/shapeshift.hpp"
+#include "scenario/soak.hpp"
 #include "scenario/today.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
@@ -160,6 +161,25 @@ private:
     overload_config cfg_;
     std::unique_ptr<overload_testbed> tb_;
     std::optional<overload_result> result_;
+};
+
+/// Facility-scale soak: five concurrent experiments over shared spans
+/// and DTNs under a fault-and-overload storm.
+class soak_driver : public driver {
+public:
+    explicit soak_driver(soak_config cfg = {}) : cfg_(cfg) {}
+
+    std::string describe() const override;
+    netsim::engine& build() override;
+    telemetry::table report(telemetry::metrics_registry& reg) override;
+
+    soak_testbed& testbed() { return *tb_; }
+    const soak_result& result();
+
+private:
+    soak_config cfg_;
+    std::unique_ptr<soak_testbed> tb_;
+    std::optional<soak_result> result_;
 };
 
 /// Mid-run WAN degradation answered by a runtime mode shift.

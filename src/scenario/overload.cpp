@@ -211,7 +211,7 @@ std::unique_ptr<overload_testbed> make_overload(const overload_config& cfg)
         auto& st = tbp->tofino->state();
         st.create_register("mode_seq", pnet::mode_transition_stage::seq_register_cells);
         const auto cell = st.reg(
-            "mode_seq", drill_stream % pnet::mode_transition_stage::seq_register_cells);
+            "mode_seq", pnet::mode_transition_stage::seq_cell_of(drill_stream));
         wire::stream_flush_body body;
         body.experiment = drill_stream;
         body.epoch = static_cast<std::uint16_t>(cell >> 48);

@@ -172,32 +172,51 @@ void register_health_metrics(metrics_registry& reg, const control::health_monito
     reg.add_probe("health_ups_observed", {}, [h] { return h->stats().ups_observed; });
 }
 
+namespace {
+void register_policy_engine_probes(metrics_registry& reg, const metric_labels& base,
+                                   const control::policy_engine& pe)
+{
+    const control::policy_engine* p = &pe;
+    auto with = [&base](const char* k, const char* v) {
+        metric_labels l = base;
+        l.emplace_back(k, v);
+        return l;
+    };
+    reg.add_probe("policy_reconfigs", with("phase", "planned"),
+                  [p] { return p->stats().reconfigs_planned; });
+    reg.add_probe("policy_reconfigs", with("phase", "installed"),
+                  [p] { return p->stats().reconfigs_installed; });
+    reg.add_probe("policy_reconfigs", with("phase", "committed"),
+                  [p] { return p->stats().reconfigs_committed; });
+    reg.add_probe("policy_reconfigs", with("phase", "aborted"),
+                  [p] { return p->stats().reconfigs_aborted; });
+    reg.add_probe("policy_polls", base, [p] { return p->stats().polls; });
+    reg.add_probe("policy_triggers", with("signal", "loss"),
+                  [p] { return p->stats().loss_triggers; });
+    reg.add_probe("policy_triggers", with("signal", "backpressure"),
+                  [p] { return p->stats().backpressure_triggers; });
+    reg.add_probe("policy_triggers", with("signal", "occupancy"),
+                  [p] { return p->stats().occupancy_triggers; });
+    reg.add_probe("policy_triggers", with("signal", "health"),
+                  [p] { return p->stats().health_triggers; });
+    reg.add_probe("policy_restores", base, [p] { return p->stats().restores; });
+    reg.add_probe("policy_epoch", base, [p] { return p->epoch(); });
+    reg.add_probe("policy_posture", base,
+                  [p] { return static_cast<std::uint64_t>(p->current_posture()); });
+    reg.add_probe("policy_pending_commits", base, [p] { return p->pending_commits(); });
+}
+} // namespace
+
 void register_policy_engine_metrics(metrics_registry& reg,
                                     const control::policy_engine& pe)
 {
-    const control::policy_engine* p = &pe;
-    reg.add_probe("policy_reconfigs", {{"phase", "planned"}},
-                  [p] { return p->stats().reconfigs_planned; });
-    reg.add_probe("policy_reconfigs", {{"phase", "installed"}},
-                  [p] { return p->stats().reconfigs_installed; });
-    reg.add_probe("policy_reconfigs", {{"phase", "committed"}},
-                  [p] { return p->stats().reconfigs_committed; });
-    reg.add_probe("policy_reconfigs", {{"phase", "aborted"}},
-                  [p] { return p->stats().reconfigs_aborted; });
-    reg.add_probe("policy_polls", {}, [p] { return p->stats().polls; });
-    reg.add_probe("policy_triggers", {{"signal", "loss"}},
-                  [p] { return p->stats().loss_triggers; });
-    reg.add_probe("policy_triggers", {{"signal", "backpressure"}},
-                  [p] { return p->stats().backpressure_triggers; });
-    reg.add_probe("policy_triggers", {{"signal", "occupancy"}},
-                  [p] { return p->stats().occupancy_triggers; });
-    reg.add_probe("policy_triggers", {{"signal", "health"}},
-                  [p] { return p->stats().health_triggers; });
-    reg.add_probe("policy_restores", {}, [p] { return p->stats().restores; });
-    reg.add_probe("policy_epoch", {}, [p] { return p->epoch(); });
-    reg.add_probe("policy_posture", {},
-                  [p] { return static_cast<std::uint64_t>(p->current_posture()); });
-    reg.add_probe("policy_pending_commits", {}, [p] { return p->pending_commits(); });
+    register_policy_engine_probes(reg, {}, pe);
+}
+
+void register_policy_engine_metrics(metrics_registry& reg, const std::string& name,
+                                    const control::policy_engine& pe)
+{
+    register_policy_engine_probes(reg, {{"engine", name}}, pe);
 }
 
 void register_element_metrics(metrics_registry& reg, const std::string& element_name,
@@ -284,6 +303,9 @@ void register_receiver_metrics(metrics_registry& reg, const std::string& host,
     reg.add_probe("receiver_given_up", base, [rp] { return rp->stats().given_up; });
     reg.add_probe("receiver_mode_shifts_seen", base,
                   [rp] { return rp->stats().mode_shifts_seen; });
+    reg.add_probe("receiver_streams", base, [rp] { return rp->stream_count(); });
+    reg.add_probe("receiver_streams_retired", base,
+                  [rp] { return rp->stats().streams_retired; });
 }
 
 void register_buffer_metrics(metrics_registry& reg, const std::string& host,
@@ -306,6 +328,8 @@ void register_buffer_metrics(metrics_registry& reg, const std::string& host,
                   [bp] { return bp->stats().pressure_releases; });
     reg.add_probe("buffer_pressure_signals", base,
                   [bp] { return bp->stats().pressure_signals; });
+    reg.add_probe("buffer_signals_pruned", base,
+                  [bp] { return bp->stats().signals_pruned; });
     reg.add_probe("buffer_retransmit_dedup", base,
                   [bp] { return bp->stats().retransmit_dedup; });
     reg.add_probe("buffer_retransmit_queue_peak", base,

@@ -133,6 +133,11 @@ void register_health_metrics(metrics_registry& reg, const control::health_monito
 void register_policy_engine_metrics(metrics_registry& reg,
                                     const control::policy_engine& pe);
 
+/// Same probes under `...{engine=name}` labels — for scenarios running
+/// one policy engine per experiment over a shared registry (the soak).
+void register_policy_engine_metrics(metrics_registry& reg, const std::string& name,
+                                    const control::policy_engine& pe);
+
 /// element_forwarded/dropped/clones/emissions plus the element's named
 /// pipeline counters (mode_transitions, mode_shifts, epochs_retired,
 /// backpressure_*) under canonical `element_*{element=...}` keys.

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 using namespace mmtp;
 using namespace mmtp::control;
 using namespace mmtp::literals;
@@ -105,6 +108,116 @@ TEST(planner, unknown_link_rejected_but_unchecked_allows_overbooking)
     p.admit_unchecked({"l"}, data_rate::from_gbps(5));
     EXPECT_NEAR(p.committed("l").gbps(), 5.0, 0.01);
     EXPECT_EQ(p.available("l").bits_per_sec, 0u);
+}
+
+// The deferred-admission queue under sustained churn: a thousand
+// park/reopen cycles against a gated link, with long-lived flows holding
+// budget throughout. Every parked request must admit exactly once (FIFO),
+// every admitted flow release cleanly, and the budget must return to
+// exactly its starting point — no leaked commitment, no double admit.
+TEST(planner, thousand_cycle_deferred_churn_is_exact)
+{
+    capacity_planner p;
+    p.register_link("daq", data_rate::from_gbps(100));
+    p.register_link("wan", data_rate::from_gbps(100));
+
+    // Long-lived occupants so churn runs against a partially full link.
+    const auto trunk1 = p.admit({"daq", "wan"}, data_rate::from_gbps(30));
+    const auto trunk2 = p.admit({"daq", "wan"}, data_rate::from_gbps(30));
+    ASSERT_TRUE(trunk1 && trunk2);
+    const auto baseline = p.committed("wan").bits_per_sec;
+
+    std::vector<flow_id> admitted;
+    const auto churn_rate = data_rate::from_mbps(10);
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        p.set_admissible("daq", false);
+        // Parked behind the gate...
+        EXPECT_FALSE(
+            p.admit_or_defer({"daq", "wan"}, churn_rate,
+                             [&](flow_id id) { admitted.push_back(id); })
+                .has_value());
+        // ...admitted (FIFO) the moment it reopens.
+        p.set_admissible("daq", true);
+        ASSERT_EQ(admitted.size(), static_cast<std::size_t>(cycle + 1));
+        p.release(admitted.back());
+    }
+
+    EXPECT_EQ(p.stats().admissions_deferred, 1000u);
+    EXPECT_EQ(p.stats().deferred_admitted, 1000u);
+    EXPECT_EQ(p.flow_count(), 2u); // only the trunks remain
+    EXPECT_EQ(p.committed("wan").bits_per_sec, baseline);
+    EXPECT_EQ(p.committed("daq").bits_per_sec, baseline);
+
+    // Flow ids never repeated: each churn admission was a distinct flow.
+    std::vector<flow_id> sorted = admitted;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+}
+
+// release() must retry the deferred queue: a request parked because the
+// link was *full* (not gated) admits as soon as capacity frees up.
+TEST(planner, release_drains_deferred_queue)
+{
+    capacity_planner p;
+    p.register_link("wan", data_rate::from_gbps(10));
+    const auto big = p.admit({"wan"}, data_rate::from_gbps(9));
+    ASSERT_TRUE(big.has_value());
+
+    // Gate, park, reopen while still full: stays parked (budget refusal
+    // keeps it queued rather than dropping it).
+    p.set_admissible("wan", false);
+    std::vector<flow_id> admitted;
+    EXPECT_FALSE(p.admit_or_defer({"wan"}, data_rate::from_gbps(5),
+                                  [&](flow_id id) { admitted.push_back(id); })
+                     .has_value());
+    p.set_admissible("wan", true);
+    EXPECT_TRUE(admitted.empty());
+
+    p.release(*big);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_NE(p.flow(admitted[0]), nullptr);
+    EXPECT_EQ(p.stats().deferred_admitted, 1u);
+}
+
+// Failure handling is incremental: only flows actually crossing the
+// failed link are touched, and the reroute callbacks arrive in ascending
+// flow-id order (the per-link crossing index is snapshotted and sorted,
+// so the hashed tables never leak iteration order).
+TEST(planner, link_down_touches_only_crossing_flows_in_id_order)
+{
+    capacity_planner p;
+    p.register_link("daq", data_rate::from_gbps(100));
+    p.register_link("wan-a", data_rate::from_gbps(50));
+    p.register_link("wan-b", data_rate::from_gbps(50));
+
+    std::vector<flow_id> on_a, elsewhere;
+    for (int i = 0; i < 40; ++i) {
+        const auto& target = (i % 2 == 0) ? "wan-a" : "wan-b";
+        const auto f = p.admit({"daq", target}, data_rate::from_mbps(100));
+        ASSERT_TRUE(f.has_value());
+        if (i % 2 == 0) {
+            ASSERT_TRUE(p.register_backup_path(*f, {"daq", "wan-b"}));
+            on_a.push_back(*f);
+        } else {
+            elsewhere.push_back(*f);
+        }
+    }
+
+    std::vector<flow_id> rerouted;
+    p.set_reroute_handler(
+        [&](const admission& f, bool ok) {
+            EXPECT_TRUE(ok);
+            rerouted.push_back(f.id);
+        });
+    p.handle_link_down("wan-a");
+
+    EXPECT_EQ(rerouted, on_a); // exactly the crossing flows, ascending id
+    EXPECT_EQ(p.stats().flows_rerouted, on_a.size());
+    for (const auto f : elsewhere) {
+        ASSERT_NE(p.flow(f), nullptr);
+        EXPECT_EQ(p.flow(f)->path.back(), "wan-b"); // untouched
+    }
+    EXPECT_EQ(p.committed("wan-a").bits_per_sec, 0u);
 }
 
 // ---------------------------------------------------------------- policy

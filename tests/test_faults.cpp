@@ -530,6 +530,70 @@ TEST(fault_sender, reroute_redirects_and_bumps_epoch)
     EXPECT_EQ(c_epochs, (std::vector<std::uint16_t>{1})); // post-reroute
 }
 
+// -------------------------------------------------- hook re-entrancy
+
+// A lifecycle hook may clear its own node's hooks or register new ones
+// while dispatch is walking the hook list — a restore hook re-arming the
+// next storm window, a teardown hook removing itself. Dispatch iterating
+// the live vector invalidated under either mutation; the contract is
+// snapshot semantics: everything registered when the event fired runs
+// exactly once, additions wait for the next event, removals do not abort
+// the current round.
+TEST(fault_hooks, mid_fire_clear_and_register_are_safe)
+{
+    network net(1);
+    auto& n = net.add_host("dtn");
+    fault_scheduler faults(net.sim());
+
+    int first = 0, second = 0, late = 0;
+    faults.on_blackout(n, [&] {
+        first++;
+        faults.clear_hooks(n); // drops BOTH registered blackout hooks mid-fire
+    });
+    faults.on_blackout(n, [&] {
+        second++; // removal must not abort the round
+        faults.on_blackout(n, [&] { late++; });
+    });
+
+    faults.blackout_node(n, sim_time{1000});
+    faults.restore_node(n, sim_time{2000});
+    net.sim().run();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(late, 0); // registered mid-fire: waits for the next blackout
+
+    faults.blackout_node(n, sim_time{3000});
+    net.sim().run();
+    EXPECT_EQ(first, 1); // cleared: the original hooks never fire again
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(late, 1);
+}
+
+// A restore hook that clears a *different* node's hooks while that node
+// has pending events must not disturb the current dispatch either.
+TEST(fault_hooks, hook_may_clear_another_nodes_hooks)
+{
+    network net(2);
+    auto& a = net.add_host("a");
+    auto& b = net.add_host("b");
+    fault_scheduler faults(net.sim());
+
+    int a_fired = 0, b_fired = 0;
+    faults.on_blackout(a, [&] {
+        a_fired++;
+        faults.clear_hooks(b);
+    });
+    faults.on_blackout(b, [&] { b_fired++; });
+
+    // a blacks out first and disarms b's hooks before b's own blackout.
+    faults.blackout_node(a, sim_time{1000});
+    faults.blackout_node(b, sim_time{2000});
+    net.sim().run();
+    EXPECT_EQ(a_fired, 1);
+    EXPECT_EQ(b_fired, 0);
+    EXPECT_EQ(faults.stats().node_blackouts, 2u); // the event still fired
+}
+
 // ------------------------------------------------ duplication pruning
 
 TEST(fault_duplication, remove_subscriber_stops_cloning)
