@@ -17,7 +17,7 @@
 //      advert) — which retransmits the stranded sequences.
 //
 // Run it twice with the same seed: the telemetry is byte-identical.
-#include "scenario/driver.hpp"
+#include "scenario/registry.hpp"
 
 #include <cstdio>
 
@@ -25,9 +25,12 @@ int main()
 {
     using namespace mmtp;
 
-    scenario::chaos_config cfg;
-    scenario::chaos_driver d(cfg);
-    scenario::chaos_driver rerun(cfg);
+    scenario::scenario_spec spec;
+    spec.topology = "chaos";
+    auto dp = scenario::registry::make(spec);
+    auto rp = scenario::registry::make(spec);
+    auto& d = static_cast<scenario::chaos_driver&>(*dp);
+    auto& rerun = static_cast<scenario::chaos_driver&>(*rp);
     const int rc = scenario::run_example(d, &rerun);
 
     const auto& r = d.result();

@@ -22,7 +22,7 @@
 //      admitted automatically.
 //
 // Run it twice with the same seed: the telemetry is byte-identical.
-#include "scenario/driver.hpp"
+#include "scenario/registry.hpp"
 
 #include <cstdio>
 
@@ -30,9 +30,12 @@ int main()
 {
     using namespace mmtp;
 
-    scenario::overload_config cfg;
-    scenario::overload_driver d(cfg);
-    scenario::overload_driver rerun(cfg);
+    scenario::scenario_spec spec;
+    spec.topology = "overload";
+    auto dp = scenario::registry::make(spec);
+    auto rp = scenario::registry::make(spec);
+    auto& d = static_cast<scenario::overload_driver&>(*dp);
+    auto& rerun = static_cast<scenario::overload_driver&>(*rp);
     const int rc = scenario::run_example(d, &rerun);
 
     const auto& r = d.result();

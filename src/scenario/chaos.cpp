@@ -75,11 +75,13 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     netsim::link_config clean;
     clean.rate = data_rate::from_gbps(100);
     clean.propagation = sim_duration{1000};
+    clean.burst = cfg.link_burst;
 
     netsim::link_config wan;
     wan.rate = cfg.wan_rate;
     wan.propagation = cfg.wan_delay;
     wan.queue_capacity_bytes = cfg.wan_queue_bytes;
+    wan.burst = cfg.link_burst;
 
     const auto [src_uplink_port, _s] = net.connect(*tb->src, *tb->tofino, clean);
     tb->wan_primary_port = net.connect_simplex(*tb->tofino, *tb->rx_host, wan);
@@ -142,12 +144,16 @@ std::unique_ptr<chaos_testbed> make_chaos(const chaos_config& cfg)
     core::buffer_service_config b1;
     b1.tap_only = true;
     b1.secondary_buffer = tb->buf2->address();
-    // buf1 writes through to its modeled disk unconditionally; with the
-    // kill-and-revive phase disabled the archive is simply never reread.
-    daq::archive_limits persist_limits;
-    persist_limits.chunk_records = cfg.persist_chunk_records;
-    tb->buf1_store = std::make_unique<dtn::durable_store>(persist_limits);
-    b1.persist = tb->buf1_store.get();
+    // buf1 writes through to its modeled disk by default; with the
+    // kill-and-revive phase disabled the archive is simply never reread
+    // (and persist = false skips the store entirely). A revive always
+    // forces the store — there is nothing to reload without one.
+    if (cfg.persist || cfg.revive_at.ns > 0) {
+        daq::archive_limits persist_limits;
+        persist_limits.chunk_records = cfg.persist_chunk_records;
+        tb->buf1_store = std::make_unique<dtn::durable_store>(persist_limits);
+        b1.persist = tb->buf1_store.get();
+    }
     tb->buf1_stack = std::make_unique<core::stack>(*tb->buf1, net.ids());
     tb->buf1_svc = std::make_unique<core::buffer_service>(*tb->buf1_stack, b1);
     tb->buf1_svc->attach_as_sink();

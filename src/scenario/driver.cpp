@@ -37,10 +37,16 @@ pilot_driver::pilot_driver(options opt) : opt_(std::move(opt)) {}
 
 std::string pilot_driver::describe() const
 {
+    // Integer-only formatting: std::to_string(double) renders through
+    // sprintf("%f"), whose decimal point is locale-dependent — the
+    // determinism audit pins every banner to pure integer math.
+    const auto loss_bp =
+        static_cast<std::uint64_t>(opt_.pilot.wan_loss * 10000.0 + 0.5);
     return "pilot study (Fig. 4): " + std::to_string(opt_.records)
-        + " ICEBERG trigger records, "
-        + std::to_string(opt_.pilot.wan_loss * 100.0).substr(0, 4) + "% WAN loss, "
-        + std::to_string(opt_.pilot.wan_delay.ns / 1000000) + " ms WAN delay";
+        + " ICEBERG trigger records, " + std::to_string(loss_bp / 100) + "."
+        + std::to_string(loss_bp % 100 / 10) + std::to_string(loss_bp % 10)
+        + "% WAN loss, " + std::to_string(opt_.pilot.wan_delay.ns / 1000000)
+        + " ms WAN delay";
 }
 
 netsim::engine& pilot_driver::build()
@@ -162,10 +168,14 @@ telemetry::table chaos_driver::report(telemetry::metrics_registry& reg)
 
 std::string overload_driver::describe() const
 {
-    const double offered = (8.0 * cfg_.message_bytes)
-        / (static_cast<double>(cfg_.message_interval.ns) / 1e9);
+    // Offered Gbps in tenths, integer-only (bits per ns == Gbps).
+    const std::uint64_t offered_dgbps = cfg_.message_interval.ns > 0
+        ? (80ull * cfg_.message_bytes)
+            / static_cast<std::uint64_t>(cfg_.message_interval.ns)
+        : 0;
     return "overload drill: " + std::to_string(cfg_.messages) + " messages at "
-        + std::to_string(offered / 1e9).substr(0, 4) + " Gbps offered over a "
+        + std::to_string(offered_dgbps / 10) + "."
+        + std::to_string(offered_dgbps % 10) + " Gbps offered over a "
         + std::to_string(cfg_.wan_rate.bits_per_sec / 1000000000) + " Gbps WAN";
 }
 

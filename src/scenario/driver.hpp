@@ -95,6 +95,8 @@ public:
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     pilot_testbed& testbed() { return *tb_; }
+    /// Records the ICEBERG source actually produced (valid after build()).
+    std::uint64_t records_driven() const { return records_driven_; }
 
 private:
     options opt_;
@@ -119,6 +121,8 @@ public:
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     today_testbed& testbed() { return *tb_; }
+    /// UDP payload bytes scheduled at the sensor (valid after build()).
+    std::uint64_t bytes_scheduled() const { return bytes_scheduled_; }
 
 private:
     options opt_;

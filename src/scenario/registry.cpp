@@ -1,0 +1,67 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+namespace mmtp::scenario::registry {
+
+namespace {
+
+struct entry {
+    const char* name;
+    std::unique_ptr<driver> (*make)(const scenario_spec&);
+};
+
+// Alphabetical, so names() needs no sort.
+constexpr std::array<entry, 6> table{{
+    {"chaos",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<chaos_driver>(s.chaos);
+     }},
+    {"overload",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<overload_driver>(s.overload);
+     }},
+    {"pilot",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<pilot_driver>(s.pilot);
+     }},
+    {"shapeshift",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<shapeshift_driver>(s.shapeshift);
+     }},
+    {"soak",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<soak_driver>(s.soak);
+     }},
+    {"today",
+     [](const scenario_spec& s) -> std::unique_ptr<driver> {
+         return std::make_unique<today_driver>(s.today);
+     }},
+}};
+
+} // namespace
+
+bool known(const std::string& topology)
+{
+    return std::any_of(table.begin(), table.end(),
+                       [&](const entry& e) { return topology == e.name; });
+}
+
+std::vector<std::string> names()
+{
+    std::vector<std::string> out;
+    out.reserve(table.size());
+    for (const auto& e : table) out.emplace_back(e.name);
+    return out;
+}
+
+std::unique_ptr<driver> make(const scenario_spec& spec)
+{
+    for (const auto& e : table)
+        if (spec.topology == e.name) return e.make(spec);
+    return nullptr;
+}
+
+} // namespace mmtp::scenario::registry

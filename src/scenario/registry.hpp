@@ -1,0 +1,30 @@
+// registry.hpp — the one name → driver-factory table.
+//
+// Before the registry every example hard-coded which concrete driver it
+// constructed; anything that wanted to run "a scenario by name" (the
+// DSL, the campaign runner, a future CLI) would have re-grown its own
+// dispatch switch. The registry names the six topology presets once:
+// give it a scenario_spec and it builds the matching concrete driver,
+// configured from the spec's config for that topology.
+#pragma once
+
+#include "scenario/dsl.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mmtp::scenario::registry {
+
+/// True when `topology` names a registered driver factory.
+bool known(const std::string& topology);
+
+/// The registered topology names, sorted.
+std::vector<std::string> names();
+
+/// Builds the concrete driver for spec.topology, configured from the
+/// spec. Returns nullptr for an unknown topology (callers that parsed
+/// the spec through the DSL never see that — the parser fails closed).
+std::unique_ptr<driver> make(const scenario_spec& spec);
+
+} // namespace mmtp::scenario::registry

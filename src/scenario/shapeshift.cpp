@@ -29,11 +29,13 @@ std::unique_ptr<shapeshift_testbed> make_shapeshift(const shapeshift_config& cfg
     netsim::link_config clean;
     clean.rate = data_rate::from_gbps(100);
     clean.propagation = sim_duration{1000};
+    clean.burst = cfg.link_burst;
 
     netsim::link_config wan;
     wan.rate = cfg.wan_rate;
     wan.propagation = cfg.wan_delay;
     wan.queue_capacity_bytes = cfg.wan_queue_bytes;
+    wan.burst = cfg.link_burst;
 
     net.connect(*tb->sensor, *tb->dtn1, clean);
     net.connect(*tb->dtn1, *tb->tofino, clean);
@@ -76,7 +78,7 @@ std::unique_ptr<shapeshift_testbed> make_shapeshift(const shapeshift_config& cfg
     pin.recovery_buffer = tb->dtn1->address();
 
     control::policy_engine_config pe_cfg;
-    pe_cfg.preset = control::mode_preset::closed_loop;
+    pe_cfg.preset = cfg.policy;
     pe_cfg.inputs = pin;
     pe_cfg.deadline_override_us = cfg.deadline_us;
     pe_cfg.poll_interval = cfg.poll_interval;

@@ -29,8 +29,10 @@ void schedule_stream_emission(soak_testbed* tb, std::size_t exp_idx,
         m.timestamp_ns = static_cast<std::uint64_t>(at.ns);
         m.size_bytes = tb->cfg.message_bytes; // virtual bulk, no inline bytes
         tb->senders[exp_idx]->send_message(m);
-        schedule_stream_emission(tb, exp_idx, stream,
-                                 at + tb->cfg.message_interval, seq + 1,
+        const sim_duration gap = tb->cfg.experiment_interval[exp_idx].ns != 0
+            ? tb->cfg.experiment_interval[exp_idx]
+            : tb->cfg.message_interval;
+        schedule_stream_emission(tb, exp_idx, stream, at + gap, seq + 1,
                                  remaining - 1);
     });
 }
@@ -133,11 +135,13 @@ std::unique_ptr<soak_testbed> make_soak(const soak_config& cfg)
     netsim::link_config clean;
     clean.rate = data_rate::from_gbps(100);
     clean.propagation = sim_duration{1000};
+    clean.burst = cfg.link_burst;
 
     netsim::link_config wan;
     wan.rate = cfg.wan_rate;
     wan.propagation = cfg.wan_delay;
     wan.queue_capacity_bytes = cfg.wan_queue_bytes;
+    wan.burst = cfg.link_burst;
 
     for (std::size_t i = 0; i < soak_experiments; ++i)
         net.connect(*tb->sensors[i], *tb->dtn1, clean);
@@ -230,7 +234,7 @@ std::unique_ptr<soak_testbed> make_soak(const soak_config& cfg)
         pin.recovery_buffer = tb->dtn1->address();
 
         control::policy_engine_config pe_cfg;
-        pe_cfg.preset = control::mode_preset::closed_loop;
+        pe_cfg.preset = cfg.policy;
         pe_cfg.inputs = pin;
         pe_cfg.poll_interval = cfg.poll_interval;
         pe_cfg.poll_until = cfg.end_at;
@@ -340,21 +344,25 @@ std::unique_ptr<soak_testbed> make_soak(const soak_config& cfg)
     }
 
     // --- traffic: experiments × slices emission chains ---
+    // The mask and per-experiment overrides shape the mix; everything
+    // else (trunks, engines, mode stages) stays five-wide regardless.
     std::size_t stream_idx = 0;
     for (std::size_t i = 0; i < soak_experiments; ++i) {
+        if ((cfg.experiment_mask >> i & 1u) == 0) continue;
+        const std::uint64_t per = cfg.experiment_messages[i] != 0
+            ? cfg.experiment_messages[i]
+            : cfg.messages_per_stream;
         for (unsigned s = 0; s < cfg.slices_per_experiment; ++s) {
             const auto stream = wire::make_experiment_id(profiles[i].experiment, s);
             // Stagger stream starts by 250 ns so t=first_message is not
             // a 20-packet collision burst.
             const sim_time start{cfg.first_message.ns
                                  + static_cast<std::int64_t>(stream_idx) * 250};
-            schedule_stream_emission(tb.get(), i, stream, start, 0,
-                                     cfg.messages_per_stream);
+            schedule_stream_emission(tb.get(), i, stream, start, 0, per);
             ++stream_idx;
         }
     }
-    tb->messages_scheduled = static_cast<std::uint64_t>(soak_experiments)
-        * cfg.slices_per_experiment * cfg.messages_per_stream;
+    tb->messages_scheduled = cfg.expected_messages();
 
     eng.schedule_at(sim_time{10000}, [tbp = tb.get()] {
         tbp->dtn1_svc->advertise(tbp->rx_host->address());
@@ -435,14 +443,28 @@ soak_result summarize_soak(soak_testbed& tbr)
     r.delivered_by_experiment = tb->delivered_by_experiment;
     r.all_delivered = r.delivered == r.messages_sent && r.rx.duplicates == 0
         && r.rx.given_up == 0 && tb->rx->outstanding_gaps() == 0;
-    const std::uint64_t per_experiment =
-        static_cast<std::uint64_t>(cfg.slices_per_experiment)
-        * cfg.messages_per_stream;
+    // Completeness is judged against the configured mix: every enabled
+    // experiment delivered its full quota, every disabled one nothing.
+    std::size_t enabled = 0;
+    bool quotas_met = true;
+    for (std::size_t i = 0; i < soak_experiments; ++i) {
+        const auto num = daq::table1_profiles()[i].experiment;
+        const auto it = r.delivered_by_experiment.find(num);
+        const std::uint64_t got =
+            it == r.delivered_by_experiment.end() ? 0 : it->second;
+        if ((cfg.experiment_mask >> i & 1u) == 0) {
+            quotas_met = quotas_met && got == 0;
+            continue;
+        }
+        ++enabled;
+        const std::uint64_t per = cfg.experiment_messages[i] != 0
+            ? cfg.experiment_messages[i]
+            : cfg.messages_per_stream;
+        quotas_met = quotas_met
+            && got == static_cast<std::uint64_t>(cfg.slices_per_experiment) * per;
+    }
     r.all_experiments_complete =
-        r.delivered_by_experiment.size() == soak_experiments
-        && std::all_of(r.delivered_by_experiment.begin(),
-                       r.delivered_by_experiment.end(),
-                       [&](const auto& kv) { return kv.second == per_experiment; });
+        quotas_met && r.delivered_by_experiment.size() == enabled;
 
     for (const auto& pe : tb->engines) {
         const auto& s = pe->stats();

@@ -86,6 +86,16 @@ struct soak_config {
     /// offered onto the 100 Gbps WAN span.
     sim_duration message_interval{sim_duration{2000}};
     sim_time first_message{sim_time{100000}}; // 100 us
+    /// Experiment mix: bit i enables Table-1 experiment i (cms, dune,
+    /// ecce, mu2e, rubin). Disabled experiments keep their trunks,
+    /// engines and mode stages — only their traffic is withheld, so the
+    /// control plane still carries five tenants.
+    std::uint32_t experiment_mask{0x1f};
+    /// Per-experiment messages-per-stream override (0 = messages_per_stream)
+    /// — the DSL's "rates/counts per experiment" knob.
+    std::array<std::uint64_t, 5> experiment_messages{};
+    /// Per-experiment emission-gap override (0 ns = message_interval).
+    std::array<sim_duration, 5> experiment_interval{};
 
     // --- spans ---
     data_rate wan_rate{data_rate::from_gbps(100)};
@@ -142,6 +152,9 @@ struct soak_config {
     double burst2_ber{2e-6};
 
     // --- closed-loop knobs (one engine per experiment) ---
+    /// Preset all five engines run (closed_loop shifts modes on loss and
+    /// health triggers; static_preset pins every epoch at 0).
+    control::mode_preset policy{control::mode_preset::closed_loop};
     sim_duration poll_interval{sim_duration{1000000}}; // 1 ms
     sim_duration drain_window{sim_duration{2000000}};  // 2 ms
     std::uint64_t loss_degrade_threshold{8};
@@ -167,6 +180,23 @@ struct soak_config {
     sim_duration probe_interval{sim_duration{500000}}; // 500 us
     /// Bounded horizon for every periodic chain (polls, prunes).
     sim_time end_at{sim_time{140000000}}; // 140 ms
+
+    /// Packets per burst on every span (1 = classic per-packet path).
+    std::uint32_t link_burst{1};
+
+    /// Messages the traffic loop will schedule under the mask/overrides.
+    std::uint64_t expected_messages() const
+    {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < 5; ++i) {
+            if ((experiment_mask >> i & 1u) == 0) continue;
+            const std::uint64_t per = experiment_messages[i] != 0
+                ? experiment_messages[i]
+                : messages_per_stream;
+            total += static_cast<std::uint64_t>(slices_per_experiment) * per;
+        }
+        return total;
+    }
 };
 
 /// CI-sized soak: same topology, same storm script, same control plane,
