@@ -24,6 +24,7 @@
 #include "common/inline_task.hpp"
 #include "common/timing_wheel.hpp"
 #include "common/units.hpp"
+#include "netsim/scheduler.hpp"
 
 #include <array>
 #include <cstdint>
@@ -31,24 +32,6 @@
 #include <vector>
 
 namespace mmtp::netsim {
-
-/// Coarse handler classes for engine profiling. Schedulers may tag each
-/// event; untagged events count as `generic`. The tag rides in padding of
-/// the heap key, so tagging costs nothing in size or ordering. The tag
-/// also picks the scheduling structure: timer/protocol/control events go
-/// through the timing wheel, the rest through the heap.
-enum class task_class : std::uint8_t {
-    generic = 0,
-    timer,        // telemetry probes, samplers, scripted scenario steps
-    link_tx,      // link serializer-free events
-    link_arrival, // packet arrival at the far end of a link
-    pipeline,     // programmable-element pipeline egress
-    protocol,     // MMTP/TCP/UDP endpoint timers and pumps
-    control,      // fault scheduler, control-plane events
-};
-constexpr std::size_t task_class_count = 7;
-
-const char* task_class_name(task_class c);
 
 /// Per-handler-class event counts plus simulated-vs-wall accounting,
 /// filled in by engine::run()/run_until(). Event counts are deterministic
@@ -64,24 +47,22 @@ struct engine_profile {
     double wall_seconds{0.0};
 };
 
-class engine {
+/// The concrete single-threaded event loop; implements scheduler and is
+/// `final` so engine-typed callers (and cached as_engine() pointers)
+/// devirtualize every call.
+class engine final : public scheduler {
 public:
     using action = inline_task;
 
-    static constexpr std::uint32_t no_slot = 0xffffffffu;
+    static constexpr std::uint32_t no_slot = scheduler_no_slot;
 
-    /// Token for a timer scheduled with schedule_cancellable_in().
-    /// Value-semantic; default-constructed means inactive. A handle goes
-    /// stale once its timer fires or is cancelled — cancel() detects
-    /// staleness via the generation counter and becomes a no-op.
-    struct timer_handle {
-        std::uint32_t slot{no_slot};
-        std::uint32_t gen{0};
-        bool active() const { return slot != no_slot; }
-    };
+    /// Alias of netsim::timer_handle, kept for pre-scheduler call sites.
+    using timer_handle = netsim::timer_handle;
 
     /// Current simulated time.
-    sim_time now() const { return now_; }
+    sim_time now() const override { return now_; }
+
+    engine* as_engine() override { return this; }
 
     // Scheduling and dispatch are defined inline: the compiler then sees
     // the concrete closure type from construction through slab parking,
@@ -137,7 +118,7 @@ public:
     /// the wheel or heap — the event never fires. Returns false (no-op)
     /// for inactive or stale handles, and for a timer cancelling itself
     /// from inside its own callback. Deactivates `h` either way.
-    bool cancel(timer_handle& h)
+    bool cancel(timer_handle& h) override
     {
         const std::uint32_t slot = h.slot;
         const std::uint32_t gen = h.gen;
@@ -199,6 +180,25 @@ public:
 
     /// Event counts by handler class and dispatch wall time so far.
     const engine_profile& profile() const { return profile_; }
+
+    /// Earliest pending live event time (reaping cancelled keys at the
+    /// front). False when drained. The shard coordinator polls this to
+    /// pick each conservative epoch's base time.
+    bool next_event_at(sim_time& at) { return next_at(at); }
+
+protected:
+    // scheduler type-erased core: one extra inline_task relocation into
+    // the slab, then the identical park/dispatch machinery.
+    void post(sim_time at, task_class tc, inline_task&& t) override
+    {
+        park(at < now_ ? now_ : at, tc, std::move(t));
+    }
+
+    timer_handle post_cancellable(sim_time at, task_class tc, inline_task&& t) override
+    {
+        const std::uint32_t slot = park(at < now_ ? now_ : at, tc, std::move(t));
+        return timer_handle{slot, gen_[slot]};
+    }
 
 private:
     struct key {

@@ -22,13 +22,14 @@
 #pragma once
 
 #include "common/units.hpp"
-#include "netsim/engine.hpp"
 #include "netsim/link.hpp"
 #include "netsim/node.hpp"
+#include "netsim/scheduler.hpp"
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace mmtp::netsim {
@@ -44,11 +45,17 @@ struct fault_stats {
     std::uint64_t flap_cycles_scheduled{0};
 };
 
-/// Drives scripted fault events on the engine. Links and nodes must
-/// outlive the scheduler (they are owned by the network, as usual).
+/// Drives scripted fault events. Links and nodes must outlive the
+/// scheduler (they are owned by the network, as usual). Each fault event
+/// is scheduled on its *target's* scheduling domain (the link's or
+/// node's own engine), so scripts work unchanged under the shard
+/// coordinator; stats and hook registration are mutex-guarded because
+/// targets in different domains fire on different worker threads.
+/// Single-shard runs see the exact historical scheduling order — every
+/// target resolves to the one engine.
 class fault_scheduler {
 public:
-    explicit fault_scheduler(engine& eng) : eng_(eng) {}
+    explicit fault_scheduler(scheduler& eng) : eng_(eng) {}
 
     /// Takes the link down at `at` (no-op if already down then).
     void fail_link_at(link& l, sim_time at);
@@ -96,13 +103,16 @@ public:
     /// call from inside a firing hook; see the re-entrancy note above).
     void clear_hooks(node& n);
 
+    /// Counters are updated under the internal mutex as events fire;
+    /// read them once the run is over (scenario reporting does).
     const fault_stats& stats() const { return stats_; }
 
 private:
     void dispatch_hooks(std::map<const node*, std::vector<std::function<void()>>>& hooks,
                         const node& n);
 
-    engine& eng_;
+    scheduler& eng_; // build-time default domain (unused by targeted events)
+    std::mutex mu_;  // guards stats_ and the hook maps across shard threads
     fault_stats stats_;
     std::map<const node*, std::vector<std::function<void()>>> blackout_hooks_;
     std::map<const node*, std::vector<std::function<void()>>> restore_hooks_;

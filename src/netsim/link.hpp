@@ -13,7 +13,9 @@
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "common/units.hpp"
+#include "netsim/engine.hpp"
 #include "netsim/queue.hpp"
+#include "netsim/scheduler.hpp"
 
 #include <array>
 #include <cstdint>
@@ -25,6 +27,7 @@ namespace mmtp::netsim {
 
 class node;
 class engine;
+class shard_coordinator;
 
 /// Upper bound on packets per burst event (arrival buffers are
 /// preallocated at this size; link_config::burst is clamped to it).
@@ -72,7 +75,10 @@ class link {
 public:
     /// `to` must outlive the link. A custom queue discipline may be
     /// supplied; otherwise a drop-tail FIFO of the configured capacity.
-    link(engine& eng, rng noise, node& to, unsigned ingress_port_at_dst,
+    /// Scheduling goes through the narrow scheduler seam; when the
+    /// scheduler is a concrete engine (always, today) the link caches the
+    /// downcast and keeps the fully inlined slab path.
+    link(scheduler& sched, rng noise, node& to, unsigned ingress_port_at_dst,
          const link_config& cfg, std::unique_ptr<queue_disc> q = nullptr);
 
     /// Queues the packet for transmission; drops it (recording stats)
@@ -133,9 +139,40 @@ public:
     void set_trace_site(std::uint32_t site) { trace_site_ = site; }
     std::uint32_t trace_site() const { return trace_site_; }
 
+    /// The scheduling domain this link's events run in (the source
+    /// node's domain — egress queue, serializer and fault timers all
+    /// live on the sending side).
+    scheduler& sched() { return sched_; }
+
+    /// Marks this link as a partition cut: arrivals are staged into the
+    /// coordinator's mailbox for shard `to` instead of being scheduled
+    /// locally. netsim::network calls this at connect time; it also
+    /// rejects zero-propagation cuts and forces burst=1 so the pump
+    /// never crosses shards.
+    void set_cross_shard(shard_coordinator& coord, unsigned from, unsigned to);
+    bool cross_shard() const { return coord_ != nullptr; }
+
 private:
     void kick();
     void transmit(packet&& p);
+
+    sim_time lnow() const { return fast_ ? fast_->now() : sched_.now(); }
+    template <typename F>
+    void sched_in(sim_duration d, task_class tc, F&& fn)
+    {
+        if (fast_)
+            fast_->schedule_in(d, tc, std::forward<F>(fn));
+        else
+            sched_.schedule_in(d, tc, std::forward<F>(fn));
+    }
+    template <typename F>
+    void sched_at(sim_time t, task_class tc, F&& fn)
+    {
+        if (fast_)
+            fast_->schedule_at(t, tc, std::forward<F>(fn));
+        else
+            sched_.schedule_at(t, tc, std::forward<F>(fn));
+    }
 
     // --- burst machinery (active only when burst_enabled()) ---
     void pump();
@@ -152,7 +189,11 @@ private:
     arrival_burst* acquire_burst();
     void release_burst(arrival_burst* ab);
 
-    engine& eng_;
+    scheduler& sched_;
+    engine* fast_; // sched_.as_engine(), cached once at construction
+    shard_coordinator* coord_{nullptr};
+    unsigned shard_from_{0};
+    unsigned shard_to_{0};
     rng noise_;
     node& to_;
     unsigned ingress_port_at_dst_;

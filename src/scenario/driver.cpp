@@ -49,7 +49,7 @@ std::string pilot_driver::describe() const
         + " ms WAN delay";
 }
 
-netsim::engine& pilot_driver::build()
+run_context pilot_driver::build()
 {
     tb_ = make_pilot(opt_.pilot);
     daq::iceberg_stream::config icfg;
@@ -57,12 +57,12 @@ netsim::engine& pilot_driver::build()
     icfg.frames_per_record = opt_.frames_per_record;
     daq::iceberg_stream source(tb_->net.fork_rng(), icfg);
     records_driven_ = tb_->sensor_tx->drive(source);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 telemetry::table pilot_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
     telemetry::register_stack_metrics(reg, "sensor", *tb_->sensor_stack);
     telemetry::register_stack_metrics(reg, "dtn1", *tb_->dtn1_stack);
     telemetry::register_stack_metrics(reg, "dtn2", *tb_->dtn2_stack);
@@ -103,19 +103,19 @@ std::string today_driver::describe() const
         + " B into the relay chain";
 }
 
-netsim::engine& today_driver::build()
+run_context today_driver::build()
 {
     tb_ = make_today(opt_.today);
     daq::steady_source source(wire::make_experiment_id(wire::experiments::dune, 0),
                               opt_.message_bytes, opt_.message_interval,
                               sim_time::zero(), opt_.messages);
     bytes_scheduled_ = tb_->drive_sensor(source);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 telemetry::table today_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
 
     telemetry::table t("status-quo pipeline");
     t.set_columns({"metric", "value"});
@@ -135,10 +135,10 @@ std::string chaos_driver::describe() const
         + std::to_string(cfg_.fault_at.ns / 1000000) + " ms";
 }
 
-netsim::engine& chaos_driver::build()
+run_context chaos_driver::build()
 {
     tb_ = make_chaos(cfg_);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 const chaos_result& chaos_driver::result()
@@ -149,7 +149,7 @@ const chaos_result& chaos_driver::result()
 
 telemetry::table chaos_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
     telemetry::register_link_metrics(reg, "wan-primary", *tb_->wan_primary);
     telemetry::register_link_metrics(reg, "wan-backup", *tb_->wan_backup);
     telemetry::register_link_metrics(reg, "buf1-feed", *tb_->buf1_feed);
@@ -179,10 +179,10 @@ std::string overload_driver::describe() const
         + std::to_string(cfg_.wan_rate.bits_per_sec / 1000000000) + " Gbps WAN";
 }
 
-netsim::engine& overload_driver::build()
+run_context overload_driver::build()
 {
     tb_ = make_overload(cfg_);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 const overload_result& overload_driver::result()
@@ -193,7 +193,7 @@ const overload_result& overload_driver::result()
 
 telemetry::table overload_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
     telemetry::register_link_metrics(reg, "wan", *tb_->wan);
     telemetry::register_priority_queue_metrics(reg, "wan", *tb_->wan_queue);
     telemetry::register_planner_metrics(reg, tb_->planner,
@@ -219,10 +219,10 @@ std::string soak_driver::describe() const
         + std::to_string(total) + " total) under a fault-and-overload storm";
 }
 
-netsim::engine& soak_driver::build()
+run_context soak_driver::build()
 {
     tb_ = make_soak(cfg_);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 const soak_result& soak_driver::result()
@@ -233,7 +233,7 @@ const soak_result& soak_driver::result()
 
 telemetry::table soak_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
     telemetry::register_link_metrics(reg, "wan-primary", *tb_->wan_primary);
     telemetry::register_link_metrics(reg, "wan-backup", *tb_->wan_backup);
     telemetry::register_link_metrics(reg, "dtn2-feed", *tb_->dtn2_feed);
@@ -268,10 +268,10 @@ std::string shapeshift_driver::describe() const
         + "mode shift";
 }
 
-netsim::engine& shapeshift_driver::build()
+run_context shapeshift_driver::build()
 {
     tb_ = make_shapeshift(cfg_);
-    return tb_->net.sim();
+    return run_context(tb_->net);
 }
 
 const shapeshift_result& shapeshift_driver::result()
@@ -282,7 +282,7 @@ const shapeshift_result& shapeshift_driver::result()
 
 telemetry::table shapeshift_driver::report(telemetry::metrics_registry& reg)
 {
-    telemetry::register_engine_metrics(reg, tb_->net.sim());
+    telemetry::register_engine_metrics(reg, tb_->net.coordinator());
     telemetry::register_link_metrics(reg, "wan", *tb_->wan);
     telemetry::register_policy_engine_metrics(reg, *tb_->policy_ctl);
     telemetry::register_element_metrics(reg, "tofino", *tb_->tofino);

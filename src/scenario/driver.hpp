@@ -8,10 +8,11 @@
 //
 //   describe()   one-line banner for logs and example output
 //   build()      constructs the testbed and scripts its events; returns
-//                the engine run() will drain. (Scenarios own their
-//                network — and therefore their engine — so build
-//                *produces* the engine rather than receiving one.)
-//   run()        builds on first call, then drains the engine
+//                a run_context naming the simulation run() will drain.
+//                (Scenarios own their network — and therefore their
+//                engines — so build *produces* the context rather than
+//                receiving one.)
+//   run()        builds on first call, then drains the simulation
 //   report(reg)  registers the scenario's standard probes into `reg`
 //                and returns the headline table (requires run())
 //
@@ -35,6 +36,28 @@
 
 namespace mmtp::scenario {
 
+/// What build() hands back: the simulation to drain. Always the
+/// scenario network's shard coordinator — a thin pass-through around the
+/// single engine in unsharded runs, the epoch-synchronized engine fleet
+/// under --shards=N. Value-semantic handle; the driver's testbed owns
+/// the network.
+class run_context {
+public:
+    run_context() = default;
+    explicit run_context(netsim::network& net) : coord_(&net.coordinator()) {}
+    explicit run_context(netsim::shard_coordinator& c) : coord_(&c) {}
+
+    bool valid() const { return coord_ != nullptr; }
+    netsim::shard_coordinator& coordinator() { return *coord_; }
+    /// Shard 0's engine (the only one when unsharded).
+    netsim::engine& sim() { return coord_->shard(0); }
+    /// Drains the simulation; returns events executed.
+    std::uint64_t run() { return coord_->run(); }
+
+private:
+    netsim::shard_coordinator* coord_{nullptr};
+};
+
 class driver {
 public:
     virtual ~driver() = default;
@@ -43,31 +66,34 @@ public:
     virtual std::string describe() const = 0;
 
     /// Constructs the testbed and scripts its traffic/faults; returns
-    /// the engine that run() drains. Idempotence is the caller's job —
-    /// use prepare()/run() unless you need the engine directly.
-    virtual netsim::engine& build() = 0;
+    /// the run_context that run() drains. Idempotence is the caller's
+    /// job — use prepare()/run() unless you need the context directly.
+    virtual run_context build() = 0;
 
     /// Builds exactly once (so a testbed can be customised before run).
     void prepare()
     {
-        if (eng_ == nullptr) eng_ = &build();
+        if (!ctx_.valid()) ctx_ = build();
     }
 
     /// Runs the scenario to completion (builds first if needed).
     void run()
     {
         prepare();
-        eng_->run();
+        ctx_.run();
     }
 
-    bool built() const { return eng_ != nullptr; }
+    bool built() const { return ctx_.valid(); }
+
+    /// The simulation handle (valid after prepare()).
+    run_context& context() { return ctx_; }
 
     /// Registers the scenario's standard probes into `reg` and returns
     /// the headline report table. Requires run().
     virtual telemetry::table report(telemetry::metrics_registry& reg) = 0;
 
 protected:
-    netsim::engine* eng_{nullptr};
+    run_context ctx_;
 };
 
 /// Shared example skeleton: prints describe(), runs, prints the report
@@ -91,7 +117,7 @@ public:
     explicit pilot_driver(options opt);
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     pilot_testbed& testbed() { return *tb_; }
@@ -117,7 +143,7 @@ public:
     explicit today_driver(options opt);
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     today_testbed& testbed() { return *tb_; }
@@ -136,7 +162,7 @@ public:
     explicit chaos_driver(chaos_config cfg = {}) : cfg_(cfg) {}
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     chaos_testbed& testbed() { return *tb_; }
@@ -155,7 +181,7 @@ public:
     explicit overload_driver(overload_config cfg = {}) : cfg_(cfg) {}
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     overload_testbed& testbed() { return *tb_; }
@@ -174,7 +200,7 @@ public:
     explicit soak_driver(soak_config cfg = {}) : cfg_(cfg) {}
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     soak_testbed& testbed() { return *tb_; }
@@ -192,7 +218,7 @@ public:
     explicit shapeshift_driver(shapeshift_config cfg = {}) : cfg_(cfg) {}
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     shapeshift_testbed& testbed() { return *tb_; }

@@ -62,7 +62,13 @@ struct scenario_spec {
     /// The burst knob of the active topology config.
     std::uint32_t link_burst() const;
     void set_link_burst(std::uint32_t b);
+    /// The shard count of the active topology config ([engine] shards).
+    std::uint32_t shards() const;
+    void set_shards(std::uint32_t n);
 };
+
+/// Bounds for `[engine] shards` (parse fails closed outside them).
+constexpr std::uint32_t max_shards = 64;
 
 /// A line-anchored parse diagnostic. line is 1-based; 0 means the error
 /// is about the file as a whole (e.g. a missing [scenario] section).
@@ -106,7 +112,7 @@ public:
     ~dsl_driver() override;
 
     std::string describe() const override;
-    netsim::engine& build() override;
+    run_context build() override;
     telemetry::table report(telemetry::metrics_registry& reg) override;
 
     const scenario_spec& spec() const { return spec_; }

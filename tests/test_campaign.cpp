@@ -4,6 +4,7 @@
 // axis matrix passes on the chaos drill, the seeded random campaign is
 // green, and two recordings of different runs diff at a well-defined
 // first divergent wire event.
+#include "common/crc32c.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/registry.hpp"
@@ -141,6 +142,47 @@ TEST(campaign_determinism, every_driver_report_is_byte_identical_across_reruns)
     }
 }
 
+// ------------------------------------------- pre-shard telemetry pins
+
+// CRC-32C + length of each checked-in scenario's report and metrics
+// CSV, captured from the build immediately before the sharded engine
+// landed. The scheduler seam, run_context and coordinator are allowed
+// to change *nothing* about a --shards=1 run: same event order, same
+// packet ids, same telemetry bytes. A pin moving means the refactor
+// perturbed the single-shard fast path — byte-compare against the old
+// build before touching these constants.
+TEST(campaign_files, single_shard_telemetry_matches_pre_shard_pins)
+{
+    struct pin {
+        const char* stem;
+        std::uint32_t report_crc;
+        std::size_t report_len;
+        std::uint32_t metrics_crc;
+        std::size_t metrics_len;
+    };
+    static constexpr pin pins[] = {
+        {"pilot", 0x0aef9e06u, 209u, 0xed95def2u, 4624u},
+        {"today", 0xa501c960u, 93u, 0x18719c6du, 351u},
+        {"chaos", 0x50ca8d47u, 755u, 0xc22e55fau, 4866u},
+        {"overload", 0x04f8d3ffu, 846u, 0x5b08e7d1u, 4899u},
+        {"shapeshift", 0xfd8168a3u, 497u, 0xf83c220au, 4227u},
+        {"soak", 0xfe7a9c40u, 1194u, 0x9cec8b26u, 11117u},
+    };
+    const auto crc_of = [](const std::string& s) {
+        return crc32c({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+    };
+    for (const auto& p : pins) {
+        scenario_spec spec = load_checked_in(p.stem);
+        ASSERT_EQ(spec.shards(), 1u) << p.stem;
+        dsl_driver d(spec);
+        const auto cap = run_and_capture(d);
+        EXPECT_EQ(cap.report_csv.size(), p.report_len) << p.stem;
+        EXPECT_EQ(crc_of(cap.report_csv), p.report_crc) << p.stem;
+        EXPECT_EQ(cap.metrics_csv.size(), p.metrics_len) << p.stem;
+        EXPECT_EQ(crc_of(cap.metrics_csv), p.metrics_crc) << p.stem;
+    }
+}
+
 // ----------------------------------------------------- the axis matrix
 
 TEST(campaign_matrix, chaos_scenario_green_across_the_full_matrix)
@@ -149,9 +191,9 @@ TEST(campaign_matrix, chaos_scenario_green_across_the_full_matrix)
     spec.topology = "chaos";
     spec.name = "chaos-matrix";
     const auto out = campaign::run_scenario(spec, campaign::options{});
-    // burst {1,32} x trace {on,off} x persist {on,off}; chaos has no
-    // policy axis.
-    EXPECT_EQ(out.cells.size(), 8u);
+    // burst {1,32} x trace {on,off} x persist {on,off} x shards {1,2};
+    // chaos has no policy axis.
+    EXPECT_EQ(out.cells.size(), 16u);
     for (const auto& cell : out.cells) {
         EXPECT_TRUE(cell.passed) << cell.ax.label();
         for (const auto& f : cell.failures) ADD_FAILURE() << f;
